@@ -1,0 +1,36 @@
+"""Benchmark-suite configuration.
+
+Every figure bench regenerates one paper figure end to end inside the
+benchmark timer, asserts the reproduction criteria, and prints the headline
+series (visible with ``pytest -s``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def print_result(result, max_rows=8):
+    """Print an experiment's headline table and comparisons."""
+    from repro.experiments import render
+    print()
+    print(render(result, max_rows=max_rows, plot=False))
+
+
+@pytest.fixture
+def figure_bench(benchmark):
+    """Run a figure generator under the benchmark timer (few rounds).
+
+    Returns the ExperimentResult of the last round after asserting that
+    every paper-vs-measured criterion passed.
+    """
+
+    def run(generator, rounds=3, **kwargs):
+        result = benchmark.pedantic(
+            lambda: generator(**kwargs), rounds=rounds, iterations=1)
+        assert result.all_passed, [
+            c.metric for c in result.comparisons if not c.passed]
+        print_result(result)
+        return result
+
+    return run

@@ -1,0 +1,42 @@
+"""Benches for the application-layer analyses.
+
+Times the design-space sweep, the WER pulse sizing, and a Monte-Carlo
+yield run — the workloads a designer iterates on top of the coupling
+model.
+"""
+
+import pytest
+
+from repro.apps import (
+    ArrayYieldAnalysis,
+    DesignSpaceExplorer,
+    WriteErrorModel,
+)
+from repro.device import MTJDevice, PAPER_EVAL_DEVICE
+
+
+def test_design_space_sweep_3x4(benchmark):
+    explorer = DesignSpaceExplorer(PAPER_EVAL_DEVICE)
+
+    points = benchmark.pedantic(
+        lambda: explorer.sweep([25e-9, 35e-9, 45e-9],
+                               [1.5, 2.0, 2.5, 3.0]),
+        rounds=3, iterations=1)
+    assert len(points) == 12
+    assert all(p.worst_delta > 0 for p in points)
+
+
+def test_wer_pulse_sizing(benchmark):
+    model = WriteErrorModel(MTJDevice(PAPER_EVAL_DEVICE))
+
+    pulse = benchmark(model.worst_case_pulse, 1e-6, 0.95, 52.5e-9)
+    assert 1e-9 < pulse < 200e-9
+
+
+def test_yield_monte_carlo_50_samples(benchmark):
+    analysis = ArrayYieldAnalysis(PAPER_EVAL_DEVICE, 70e-9)
+
+    result = benchmark.pedantic(
+        lambda: analysis.run(n_samples=50, rng=1),
+        rounds=3, iterations=1)
+    assert result.n_samples == 50

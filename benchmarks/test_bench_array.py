@@ -1,0 +1,46 @@
+"""Benches for array-scale coupling evaluation.
+
+Times the cold-cache kernel construction, the warm 256-pattern sweep, and
+a full-array (9x9) victim field map — the operations a memory designer
+sweeps over pitch/size design spaces.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arrays import ArrayLayout, InterCellCoupling
+from repro.arrays.pattern import checkerboard
+from repro.arrays.victim import array_field_map
+from repro.device import MTJDevice, PAPER_EVAL_DEVICE
+from repro.stack import build_reference_stack
+
+
+def test_coupling_kernels_cold(benchmark):
+    stack = build_reference_stack(55e-9)
+
+    def build_and_evaluate():
+        coupling = InterCellCoupling(stack, 90e-9)  # empty cache
+        return coupling.kernels()
+
+    kernels = benchmark(build_and_evaluate)
+    assert kernels.fl_direct < 0
+
+
+def test_np8_sweep_warm(benchmark):
+    coupling = InterCellCoupling(build_reference_stack(55e-9), 90e-9)
+    coupling.kernels()  # warm the cache
+
+    values = benchmark(coupling.hz_inter_all)
+    assert values.shape == (256,)
+    assert int(np.argmin(values)) == 0
+
+
+def test_array_field_map_9x9(benchmark):
+    device = MTJDevice(PAPER_EVAL_DEVICE)
+    layout = ArrayLayout(pitch=70e-9, rows=9, cols=9)
+    pattern = checkerboard(9, 9)
+
+    result = benchmark.pedantic(
+        lambda: array_field_map(device, layout, pattern),
+        rounds=3, iterations=1)
+    assert np.isfinite(result[1:-1, 1:-1]).all()

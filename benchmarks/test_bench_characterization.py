@@ -1,0 +1,56 @@
+"""Benches for the measurement-emulation pipelines.
+
+Times the paper's two statistical measurements: the 1000-cycle switching
+probability curve (Section V-A) and the repeated R-H loop protocol
+(Section III), plus the Hk/Delta0 extraction fit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.characterization import (
+    RHMeasurement,
+    fit_hk_delta0,
+    switching_probability_curve,
+)
+from repro.device import MTJDevice
+from repro.experiments.data import wafer_device_parameters
+from repro.units import nm_to_m, oe_to_am
+
+
+@pytest.fixture(scope="module")
+def device55():
+    return MTJDevice(wafer_device_parameters(nm_to_m(55.0)))
+
+
+@pytest.fixture(scope="module")
+def psw_curve(device55):
+    fields = np.linspace(oe_to_am(1200.0), oe_to_am(3800.0), 40)
+    _, probs = switching_probability_curve(
+        device55, fields, n_cycles=1000, rng=7)
+    return fields, probs
+
+
+def test_psw_curve_1000_cycles(benchmark, device55):
+    fields = np.linspace(oe_to_am(1200.0), oe_to_am(3800.0), 40)
+
+    _, probs = benchmark(switching_probability_curve, device55, fields,
+                         1000, 1e-3, 5)
+    assert probs.max() > 0.99
+
+
+def test_hk_delta0_fit(benchmark, device55, psw_curve):
+    fields, probs = psw_curve
+    stray = device55.intra_stray_field()
+
+    fit = benchmark(fit_hk_delta0, fields, probs, 1e-3, stray)
+    assert fit.hk == pytest.approx(device55.params.hk, rel=0.08)
+
+
+def test_rh_measurement_5_cycles(benchmark, device55):
+    measurement = RHMeasurement(device55)
+
+    stats = benchmark.pedantic(
+        lambda: measurement.run(n_cycles=5, rng=3),
+        rounds=3, iterations=1)
+    assert stats.hoffset_oe > 0

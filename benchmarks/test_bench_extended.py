@@ -1,0 +1,49 @@
+"""Benches for the extended-neighborhood model and the fast array map.
+
+Also regenerates the two extension experiments (truncation-error budget
+and WER pulse sizing) the repository adds beyond the paper's figures.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arrays import ExtendedNeighborhood, fast_array_field_map
+from repro.arrays.pattern import random_pattern
+from repro.device import MTJDevice, PAPER_EVAL_DEVICE
+from repro.experiments import ext_neighborhood, ext_wer
+from repro.stack import build_reference_stack
+
+
+def test_extended_kernels_5x5(benchmark):
+    stack = build_reference_stack(55e-9)
+
+    def build():
+        return ExtendedNeighborhood(stack, 90e-9, order=2).kernels()
+
+    kernels = benchmark.pedantic(build, rounds=3, iterations=1)
+    assert len(kernels) == 24
+
+
+def test_fast_map_128x128(benchmark):
+    device = MTJDevice(PAPER_EVAL_DEVICE)
+    bits = random_pattern(128, 128, rng=1).bits
+
+    def run():
+        return fast_array_field_map(device, 70e-9, bits, order=1)
+
+    out = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert np.isfinite(out[1:-1, 1:-1]).all()
+
+
+def test_ext_neighborhood_experiment(figure_bench):
+    result = figure_bench(ext_neighborhood.run, rounds=2)
+    # Headline: the 3x3 window misses a material fraction of the
+    # variation at the paper's design point.
+    trunc = result.extras["truncation_by_pitch"][90.0]
+    assert 0.1 < trunc < 0.4
+
+
+def test_ext_wer_experiment(figure_bench):
+    result = figure_bench(ext_wer.run)
+    penalties = result.extras["penalties_ns"]
+    assert penalties[1.5] > penalties[3.0]

@@ -1,0 +1,15 @@
+"""Bench: regenerate paper Fig. 2a (R-H hysteresis loop measurement).
+
+Times one full 1000-point stochastic R-H sweep plus extraction and checks
+the extracted Hc / Hoffset / eCD against the paper's Section III values.
+"""
+
+from repro.experiments import fig2a
+
+
+def test_fig2a_rh_loop(figure_bench):
+    result = figure_bench(fig2a.run)
+    rows = dict((r[0], r[1]) for r in result.rows)
+    # Headline: positive offset, wafer-scale coercivity.
+    assert rows["Hoffset"] > 0
+    assert 1500.0 < rows["Hc"] < 3200.0

@@ -1,0 +1,15 @@
+"""Bench: regenerate paper Fig. 2b (Hz_s_intra vs eCD, calibrated model).
+
+Times the full calibration loop: synthetic measurement ensemble, linear
+least-squares moment fit, and the dense model curve.
+"""
+
+from repro.experiments import fig2b
+
+
+def test_fig2b_intra_calibration(figure_bench):
+    result = figure_bench(fig2b.run)
+    # Headline: the calibrated curve matches the measured data.
+    rmse = [c for c in result.comparisons
+            if c.metric.startswith("model-vs-measured")][0]
+    assert rmse.measured < 20.0

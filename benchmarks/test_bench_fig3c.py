@@ -1,0 +1,13 @@
+"""Bench: regenerate paper Fig. 3c (3-D stray-field map, eCD = 55 nm).
+
+Times the vector-field evaluation of the RL+HL sources on a 3-D grid
+(13^3 = 2197 points by default).
+"""
+
+from repro.experiments import fig3c
+
+
+def test_fig3c_field_map(figure_bench):
+    result = figure_bench(fig3c.run)
+    assert result.extras["field"].shape[1] == 3
+    assert result.extras["field"].shape[0] == 13 ** 3

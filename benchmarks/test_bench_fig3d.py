@@ -1,0 +1,13 @@
+"""Bench: regenerate paper Fig. 3d (radial Hz_s_intra profiles).
+
+Times the four radial line scans (20/35/55/90 nm devices).
+"""
+
+from repro.experiments import fig3d
+
+
+def test_fig3d_radial_profiles(figure_bench):
+    result = figure_bench(fig3d.run)
+    centers = result.extras["center_values_oe"]
+    # Headline ordering: smaller devices see stronger center fields.
+    assert abs(centers[35.0]) > abs(centers[90.0])

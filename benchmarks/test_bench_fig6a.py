@@ -1,0 +1,13 @@
+"""Bench: regenerate paper Fig. 6a (Delta vs temperature, pitch = 2x eCD).
+
+Times the 7-curve Delta(T) family over 16 temperatures including the
+Bloch-law scaling, and asserts the Delta0 = 45.5 anchor and the worst-case
+ordering.
+"""
+
+from repro.experiments import fig6a
+
+
+def test_fig6a_delta_vs_temperature(figure_bench):
+    result = figure_bench(fig6a.run)
+    assert result.extras["pitch_ratio"] == 2.0

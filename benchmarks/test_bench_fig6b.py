@@ -1,0 +1,12 @@
+"""Bench: regenerate paper Fig. 6b (worst-case Delta at three pitches).
+
+Times the worst-corner Delta_P(NP8=0) temperature sweeps at 3x / 2x /
+1.5x eCD and asserts the "marginal degradation" conclusion.
+"""
+
+from repro.experiments import fig6b
+
+
+def test_fig6b_worst_case_delta(figure_bench):
+    result = figure_bench(fig6b.run)
+    assert 0.0 <= result.extras["degradation_at_25c"] < 5.0

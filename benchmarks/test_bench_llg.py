@@ -1,0 +1,42 @@
+"""Benches for the stochastic LLG solver.
+
+Times a single Heun step over a 256-spin ensemble and a full switching
+transient — the cost drivers of LLG-based write-error analysis.
+"""
+
+import numpy as np
+import pytest
+
+from repro.device import MTJDevice, PAPER_EVAL_DEVICE
+from repro.llg import (
+    HeunIntegrator,
+    MacrospinParameters,
+    SwitchingSimulation,
+)
+from repro.llg.simulate import default_time_step, thermal_initial_tilt
+
+
+@pytest.fixture(scope="module")
+def params():
+    return MacrospinParameters.from_device(MTJDevice(PAPER_EVAL_DEVICE))
+
+
+def test_heun_step_256_spins(benchmark, params):
+    integrator = HeunIntegrator(params, default_time_step(params),
+                                a_j=5e3, thermal=True)
+    rng = np.random.default_rng(1)
+    m = thermal_initial_tilt(params, rng, 256, around=-1.0)
+
+    out = benchmark(integrator.step, m, rng)
+    assert out.shape == (256, 3)
+    np.testing.assert_allclose(np.linalg.norm(out, axis=1), 1.0,
+                               rtol=1e-9)
+
+
+def test_switching_transient_32_runs(benchmark, params):
+    sim = SwitchingSimulation(params, current=100e-6)
+
+    result = benchmark.pedantic(
+        lambda: sim.run(n_runs=32, max_time=30e-9, rng=7),
+        rounds=3, iterations=1)
+    assert result.switched_fraction > 0.9

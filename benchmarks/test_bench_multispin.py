@@ -1,0 +1,59 @@
+"""Benches for the multi-macrospin FL and the report generator."""
+
+import numpy as np
+import pytest
+
+from repro.core.intra import IntraCellModel
+from repro.device import MTJDevice, PAPER_EVAL_DEVICE
+from repro.llg import MacrospinParameters, MultiMacrospinFL, make_fl_grid
+
+
+@pytest.fixture(scope="module")
+def multispin_fl():
+    device = MTJDevice(PAPER_EVAL_DEVICE)
+    params = MacrospinParameters.from_device(
+        device, use_activation_volume=False)
+    grid = make_fl_grid(device.stack.radius, n_across=5)
+    intra = IntraCellModel()
+
+    def profile(pos):
+        pts = np.column_stack([pos, np.zeros(pos.shape[0])])
+        return intra.field_map(device.params.ecd, pts)[:, 2]
+
+    return MultiMacrospinFL(params, grid,
+                            device.stack.free_layer.thickness,
+                            hz_profile=profile)
+
+
+def test_multispin_step(benchmark, multispin_fl):
+    rng = np.random.default_rng(1)
+    m = multispin_fl.uniform_state(-1.0)
+    m[:, 0] += 0.02 * rng.standard_normal(multispin_fl.grid.n_cells)
+    m /= np.linalg.norm(m, axis=1, keepdims=True)
+
+    out = benchmark(multispin_fl.step, m, 1e-12, rng, 5e3)
+    assert out.shape == m.shape
+
+
+def test_multispin_switch_transient(benchmark, multispin_fl):
+    current = 2.0 * multispin_fl.total_critical_current
+
+    t_sw = benchmark.pedantic(
+        lambda: multispin_fl.switch(current, max_time=20e-9, rng=3),
+        rounds=3, iterations=1)
+    assert t_sw is not None
+
+
+def test_report_generation(benchmark):
+    from repro.experiments.base import Comparison, ExperimentResult
+    from repro.experiments.report import build_report
+    results = {
+        f"fig{i}": ExperimentResult(
+            experiment_id=f"fig{i}", title="t",
+            headers=["a"], rows=[(float(j),) for j in range(20)],
+            comparisons=[Comparison("m", 1.0, 1.0, True, "")])
+        for i in range(10)
+    }
+
+    text = benchmark(build_report, results)
+    assert text.startswith("# Reproduction report")

@@ -1,0 +1,55 @@
+"""Benches for the pattern statistics, retention map, and optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.apps import WriteVoltageOptimizer
+from repro.arrays import (
+    InterCellCoupling,
+    pattern_field_distribution,
+    retention_map,
+)
+from repro.arrays.pattern import random_pattern
+from repro.arrays.statistics import expected_retention_failure_rate
+from repro.device import MTJDevice, PAPER_EVAL_DEVICE
+from repro.stack import build_reference_stack
+
+
+@pytest.fixture(scope="module")
+def device():
+    return MTJDevice(PAPER_EVAL_DEVICE)
+
+
+def test_pattern_distribution(benchmark):
+    coupling = InterCellCoupling(build_reference_stack(55e-9), 90e-9)
+    coupling.kernels()
+
+    dist = benchmark(pattern_field_distribution, coupling, 0.5)
+    assert sum(dist.probabilities) == pytest.approx(1.0)
+
+
+def test_data_aware_retention_rate(benchmark, device):
+    rate = benchmark.pedantic(
+        lambda: expected_retention_failure_rate(
+            device, 52.5e-9, 1e6),
+        rounds=3, iterations=1)
+    assert rate > 0
+
+
+def test_retention_map_24x24(benchmark, device):
+    bits = random_pattern(24, 24, rng=2).bits
+
+    rmap = benchmark.pedantic(
+        lambda: retention_map(device, 70e-9, bits),
+        rounds=3, iterations=1)
+    assert np.isfinite(rmap.delta[1:-1, 1:-1]).all()
+
+
+def test_voltage_optimization(benchmark, device):
+    optimizer = WriteVoltageOptimizer(device)
+    h = device.intra_stray_field()
+
+    v_opt = benchmark.pedantic(
+        lambda: optimizer.optimal_voltage(20e-9, h),
+        rounds=3, iterations=1)
+    assert 0.8 < v_opt < 1.6

@@ -1,0 +1,64 @@
+"""Array parametric yield under process variation and coupling.
+
+The paper evaluates the nominal device; real arrays ship distributions.
+This script Monte-Carlo-samples device instances (size/Hk/Delta0
+variation as in the Fig. 2b error bars), applies the worst-case coupling
+corner at each candidate pitch, and reports the fraction of devices
+meeting retention and write-time specs — parametric yield vs density.
+
+Run:  python examples/array_yield.py
+"""
+
+import numpy as np
+
+from repro import PAPER_EVAL_DEVICE
+from repro.apps import ArrayYieldAnalysis
+from repro.arrays import areal_density_gbit_per_mm2
+from repro.characterization import ProcessVariation
+from repro.reporting import format_table
+
+PITCH_RATIOS = (3.0, 2.5, 2.0, 1.75, 1.5)
+N_SAMPLES = 150
+SPECS = {"min_delta": 35.0, "max_tw": 18e-9, "probe_voltage": 0.9}
+
+
+def main():
+    ecd = PAPER_EVAL_DEVICE.ecd
+    variation = ProcessVariation(sigma_ecd=0.04, sigma_hk=0.03,
+                                 sigma_delta0=0.05)
+
+    rows = []
+    for ratio in PITCH_RATIOS:
+        pitch = ratio * ecd
+        analysis = ArrayYieldAnalysis(PAPER_EVAL_DEVICE, pitch,
+                                      variation=variation)
+        result = analysis.run(n_samples=N_SAMPLES, rng=2020, **SPECS)
+        rows.append((
+            f"{ratio:.2f}x",
+            pitch * 1e9,
+            areal_density_gbit_per_mm2(pitch),
+            result.worst_delta_mean,
+            result.worst_delta_std,
+            result.n_retention_fail,
+            result.n_write_fail,
+            100.0 * result.yield_fraction,
+        ))
+
+    print(format_table(
+        ["pitch", "(nm)", "Gb/mm^2", "worst Delta (mean)",
+         "(std)", "#ret fail", "#write fail", "yield (%)"],
+        rows, float_format=".3g"))
+    print()
+    print(f"Specs: worst-case Delta >= {SPECS['min_delta']}, worst-case "
+          f"tw <= {SPECS['max_tw'] * 1e9:.0f} ns at "
+          f"{SPECS['probe_voltage']} V; N = {N_SAMPLES} devices/point.")
+    print()
+    print("Reading: variation, not nominal coupling, dominates yield "
+          "loss — but shrinking the pitch shifts the whole worst-case "
+          "Delta distribution down and pushes marginal devices over the "
+          "spec line, which is how the paper's 'marginal degradation' "
+          "becomes a measurable yield cost.")
+
+
+if __name__ == "__main__":
+    main()

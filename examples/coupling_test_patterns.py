@@ -1,0 +1,76 @@
+"""Coupling-aware memory test generation.
+
+The paper's authors work on STT-MRAM test (refs [6], [14], [16]); the
+coupling model directly drives test engineering. This script assesses a
+design against write/retention specs across pitches, identifies where
+coupling-induced faults become possible, and prints the sensitizing data
+background and a march-style stress test for the worst corners — plus a
+full-array stray-field map contrasting the stress background with a
+benign checkerboard.
+
+Run:  python examples/coupling_test_patterns.py
+"""
+
+import numpy as np
+
+from repro import MTJDevice, PAPER_EVAL_DEVICE
+from repro.apps import CouplingFaultAnalyzer
+from repro.arrays import fast_array_field_map
+from repro.arrays.pattern import checkerboard, solid
+from repro.reporting import format_table
+from repro.units import am_to_oe
+
+PITCH_RATIOS = (3.0, 2.5, 2.0, 1.75, 1.5)
+SPECS = {"pulse_budget": 14e-9, "write_voltage": 0.9, "min_delta": 36.0}
+
+
+def main():
+    device = MTJDevice(PAPER_EVAL_DEVICE)
+    analyzer = CouplingFaultAnalyzer(device, PITCH_RATIOS[0]
+                                     * device.params.ecd)
+
+    rows = []
+    for ratio in PITCH_RATIOS:
+        assessment = CouplingFaultAnalyzer(
+            device, ratio * device.params.ecd).assess(**SPECS)
+        rows.append((
+            f"{ratio:g}x",
+            assessment.write_margin_ns,
+            assessment.retention_margin,
+            "yes" if assessment.write_fault_possible else "no",
+            "yes" if assessment.retention_fault_possible else "no",
+        ))
+    print(format_table(
+        ["pitch", "write margin (ns)", "retention margin (Delta)",
+         "write fault?", "retention fault?"], rows, float_format=".3g"))
+    print()
+
+    name, pattern = analyzer.sensitizing_background("write_margin")
+    print(f"Sensitizing background: {name} "
+          f"(every victim sees NP8={pattern.to_int()})")
+    print("March-style coupling stress test:")
+    for element in analyzer.march_test(SPECS["write_voltage"]):
+        print(f"  {element}")
+    print()
+
+    # Show why the background matters: per-cell total stray field under
+    # the stress background vs a checkerboard, over a 12x12 tile.
+    pitch = 1.5 * device.params.ecd
+    stress = fast_array_field_map(device, pitch, solid(12, 12, 0).bits)
+    benign = fast_array_field_map(device, pitch,
+                                  checkerboard(12, 12).bits)
+    print("Interior stray field (Oe) at pitch=1.5x eCD:")
+    print(f"  stress background (solid-0): "
+          f"{am_to_oe(np.nanmean(stress)):8.1f} (uniform)")
+    print(f"  checkerboard:                mean "
+          f"{am_to_oe(np.nanmean(benign)):8.1f}, "
+          f"spread {am_to_oe(np.nanmax(benign) - np.nanmin(benign)):.1f}")
+    print()
+    print("Reading: the solid-0 background pushes every interior cell to "
+          "its worst-case field simultaneously — one array write "
+          "stresses all victims; the checkerboard leaves the array far "
+          "from the corner and would mask coupling faults.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Cross-check: stochastic LLG simulation vs Sun's analytical model.
+
+The paper computes switching times with Sun's precessional formula
+(Eq. 3-4). This script validates that model against the library's
+independent stochastic Landau-Lifshitz-Gilbert-Slonczewski solver:
+
+* the LLG threshold current matches Eq. 2's Ic exactly (same identity),
+* 1/tw grows linearly with the overdrive current I - Ic,
+* the absolute times agree within a small factor (the models differ in
+  their treatment of the initial thermal angle).
+
+Run:  python examples/llg_vs_sun.py   (takes ~1 minute)
+"""
+
+import numpy as np
+
+from repro import MTJDevice, PAPER_EVAL_DEVICE
+from repro.llg import (
+    MacrospinParameters,
+    SwitchingSimulation,
+    stt_critical_current,
+)
+from repro.reporting import ascii_plot, format_table
+
+CURRENTS_UA = np.array([75.0, 90.0, 105.0, 120.0, 135.0])
+N_RUNS = 64
+
+
+def main():
+    device = MTJDevice(PAPER_EVAL_DEVICE)
+    params = MacrospinParameters.from_device(device)
+
+    print(f"Eq. 2 intrinsic Ic0:   {device.ic0() * 1e6:7.2f} uA")
+    print(f"LLG threshold current: {stt_critical_current(params) * 1e6:7.2f}"
+          " uA  (must match)")
+    print()
+
+    sun = device.sun_model()
+    ic = device.ic0()
+    rows = []
+    llg_rates, sun_rates = [], []
+    for i, current_ua in enumerate(CURRENTS_UA):
+        current = current_ua * 1e-6
+        result = SwitchingSimulation(params, current=current).run(
+            n_runs=N_RUNS, max_time=120e-9, rng=100 + i)
+        tw_llg = result.mean_time
+        # Sun's model at the same overdrive current:
+        tw_sun = 1.0 / (sun.rate_coefficient * (current - ic))
+        rows.append((current_ua, tw_llg * 1e9, tw_sun * 1e9,
+                     tw_llg / tw_sun, result.switched_fraction))
+        llg_rates.append(1.0 / tw_llg)
+        sun_rates.append(1.0 / tw_sun)
+
+    print(format_table(
+        ["I (uA)", "LLG tw (ns)", "Sun tw (ns)", "ratio", "switched"],
+        rows, float_format=".3g"))
+    print()
+
+    overdrive = CURRENTS_UA - ic * 1e6
+    print(ascii_plot(
+        {"LLG 1/tw": (overdrive, np.array(llg_rates) / 1e9),
+         "Sun 1/tw": (overdrive, np.array(sun_rates) / 1e9)},
+        title="Switching rate vs overdrive current",
+        x_label="I - Ic (uA)", y_label="1/tw (1/ns)"))
+    print()
+
+    # llg_rates were fit against overdrive in uA, so the slope is already
+    # per uA; the Sun coefficient is per A.
+    slope = np.polyfit(overdrive, llg_rates, 1)[0]
+    print(f"LLG rate slope:  {slope / 1e9:.4f} (1/ns)/uA")
+    print(f"Sun rate slope:  {sun.rate_coefficient / 1e9 * 1e-6:.4f} "
+          "(1/ns)/uA")
+    print("Reading: both models are linear in the overdrive. The "
+          "absolute LLG times are a factor ~3-5 faster than the "
+          "calibrated Sun model — the paper-matching calibration chooses "
+          "a conservative effective polarization; the linear-in-overdrive "
+          "structure (Eq. 3) is what the LLG confirms.")
+
+
+if __name__ == "__main__":
+    main()

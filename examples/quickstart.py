@@ -1,0 +1,55 @@
+"""Quickstart: model one STT-MRAM cell and its 3x3 neighborhood.
+
+Builds the paper's evaluation device (eCD = 35 nm), computes the stray
+fields it lives in, and prints how the critical current, write time, and
+retention change between the best- and worst-case data patterns.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import MTJDevice, MTJState, PAPER_EVAL_DEVICE, VictimAnalysis
+from repro.arrays.pattern import ALL_AP, ALL_P
+from repro.reporting import format_table
+from repro.units import am_to_oe
+
+
+def main():
+    device = MTJDevice(PAPER_EVAL_DEVICE)
+    print("Device:", {k: round(v, 2) if isinstance(v, float) else v
+                      for k, v in device.describe().items()})
+    print()
+
+    # The device's own fixed layers produce a stray field at its FL:
+    hz_intra = device.intra_stray_field()
+    print(f"Intra-cell stray field: {am_to_oe(hz_intra):8.1f} Oe "
+          "(negative = anti-parallel to the RL)")
+    print(f"Ic(AP->P): {device.ic('AP->P', hz_intra) * 1e6:6.2f} uA "
+          f"(intrinsic {device.ic0() * 1e6:.2f} uA)")
+    print(f"Ic(P->AP): {device.ic('P->AP', hz_intra) * 1e6:6.2f} uA")
+    print()
+
+    # Put the device in a dense array: pitch = 2x eCD (the paper's Psi=2%
+    # design point is close to this).
+    victim = VictimAnalysis(device, pitch=2.0 * device.params.ecd)
+    rows = []
+    for label, pattern in (("all neighbors P (NP8=0)", ALL_P),
+                           ("all neighbors AP (NP8=255)", ALL_AP)):
+        rows.append((
+            label,
+            am_to_oe(victim.hz_inter(pattern)),
+            victim.ic("AP->P", pattern) * 1e6,
+            victim.switching_time(0.9, pattern) * 1e9,
+            victim.delta(MTJState.P, pattern),
+        ))
+    print(format_table(
+        ["neighborhood", "Hz_inter (Oe)", "Ic AP->P (uA)",
+         "tw @0.9V (ns)", "Delta_P"], rows))
+    print()
+
+    worst_delta, state, pattern = victim.worst_case_delta()
+    print(f"Worst retention corner: Delta = {worst_delta:.1f} for the "
+          f"{state.value} state under NP8={pattern.to_int()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Read-disturb margin: how hard can you read a dense array?
+
+Read sensing wants high read voltage (signal, speed — the paper's intro
+cites 4 ns read sensing at 0.9 V write); disturb wants low. This script
+sizes the maximum read voltage against a per-read disturb target across
+pitches and neighborhood corners, showing that inter-cell coupling also
+taxes the *read* budget at aggressive densities.
+
+Run:  python examples/read_disturb_margin.py
+"""
+
+import numpy as np
+
+from repro import MTJDevice, MTJState, PAPER_EVAL_DEVICE
+from repro.apps import ReadDisturbAnalysis
+from repro.arrays import VictimAnalysis
+from repro.arrays.pattern import ALL_P
+from repro.reporting import ascii_plot, format_table
+
+DISTURB_TARGET = 1e-12   # per-read flip budget (pre-ECC)
+T_READ = 10e-9
+PITCH_RATIOS = (3.0, 2.0, 1.5)
+
+
+def main():
+    device = MTJDevice(PAPER_EVAL_DEVICE)
+    analysis = ReadDisturbAnalysis(device)
+
+    # Disturb probability vs read voltage at the worst corner.
+    victim = VictimAnalysis(device, 1.5 * device.params.ecd)
+    hz_worst = victim.hz_total(ALL_P)
+    voltages = np.linspace(0.05, 0.5, 40)
+    probs = np.array([
+        analysis.disturb_probability(MTJState.P, v, T_READ, hz_worst)
+        for v in voltages])
+    print(ascii_plot(
+        {"P state, NP8=0": (voltages, np.log10(probs + 1e-30))},
+        title="Per-read disturb probability (pitch=1.5x eCD)",
+        x_label="read voltage (V)", y_label="log10 P(disturb)"))
+    print()
+
+    rows = []
+    for ratio in PITCH_RATIOS:
+        pitch = ratio * device.params.ecd
+        v_victim = VictimAnalysis(device, pitch)
+        v_max_worst = analysis.max_read_voltage(
+            MTJState.P, DISTURB_TARGET, T_READ,
+            hz_stray=v_victim.hz_total(ALL_P))
+        v_max_isolated = analysis.max_read_voltage(
+            MTJState.P, DISTURB_TARGET, T_READ,
+            hz_stray=device.intra_stray_field())
+        reads = analysis.reads_to_failure(
+            MTJState.P, 0.03, T_READ,
+            hz_stray=v_victim.hz_total(ALL_P), budget=1e-6)
+        rows.append((f"{ratio:g}x", v_max_isolated * 1e3,
+                     v_max_worst * 1e3,
+                     (v_max_isolated - v_max_worst) * 1e3, reads))
+
+    print(format_table(
+        ["pitch", "Vread max intra (mV)",
+         "Vread max NP8=0 (mV)", "coupling cost (mV)",
+         "reads@30mV to 1e-6"], rows, float_format=".3g"))
+    print()
+    print("Reading: a Delta0=45.5 device is genuinely read-disturb "
+          "limited (hence the paper's gentle 20 mV readout). The "
+          "worst-case neighborhood lowers Delta_P and Ic(P->AP) "
+          "together, shaving several more millivolts off the safe read "
+          "voltage at 1.5x eCD — a second, quieter coupling tax on top "
+          "of the write-margin one.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""Reproduce every figure of the paper and export the data.
+
+Runs all ten experiments (Figs. 2a-6b), prints each one's data table,
+paper-vs-measured comparison, and ASCII rendering, and writes CSV/JSON
+artifacts under ``results/`` for external plotting.
+
+Run:  python examples/reproduce_paper.py [output_dir]
+"""
+
+import sys
+
+from repro.experiments.runner import main
+
+
+if __name__ == "__main__":
+    argv = sys.argv[1:] if len(sys.argv) > 1 else ["results"]
+    raise SystemExit(main(argv))

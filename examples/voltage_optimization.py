@@ -1,0 +1,67 @@
+"""Optimal write voltage: error rate vs barrier breakdown.
+
+Fig. 5's closing remark — higher voltage means faster, less
+coupling-sensitive writes *but* more breakdown risk — as an actual
+optimization. For each pitch, sweep the write voltage, combine the
+write-error rate (thermal, coupling-corner aware) with the per-pulse
+TDDB breakdown probability of the MgO barrier, and report the optimal
+voltage and the residual failure floor.
+
+Run:  python examples/voltage_optimization.py
+"""
+
+import numpy as np
+
+from repro import MTJDevice, PAPER_EVAL_DEVICE
+from repro.apps import WriteVoltageOptimizer
+from repro.arrays import VictimAnalysis
+from repro.arrays.pattern import ALL_P
+from repro.reporting import ascii_plot, format_table
+
+T_PULSE = 20e-9
+PITCH_RATIOS = (3.0, 2.0, 1.5)
+
+
+def main():
+    device = MTJDevice(PAPER_EVAL_DEVICE)
+    optimizer = WriteVoltageOptimizer(device)
+
+    # The U-shape at the densest corner.
+    victim = VictimAnalysis(device, 1.5 * device.params.ecd)
+    hz_worst = victim.hz_total(ALL_P)
+    voltages = np.linspace(0.85, 1.6, 40)
+    wer, bd, total = optimizer.sweep(voltages, T_PULSE, hz_worst)
+    print(ascii_plot(
+        {
+            "WER": (voltages, np.log10(wer + 1e-30)),
+            "breakdown": (voltages, np.log10(bd + 1e-30)),
+            "total": (voltages, np.log10(total + 1e-30)),
+        },
+        title=f"Failure per write vs voltage ({T_PULSE * 1e9:.0f} ns "
+              "pulse, worst corner, pitch=1.5x eCD)",
+        x_label="Vp (V)", y_label="log10 P(fail)"))
+    print()
+
+    rows = []
+    for ratio in PITCH_RATIOS:
+        pitch = ratio * device.params.ecd
+        v_opt, failure = optimizer.worst_corner_optimum(T_PULSE, pitch)
+        energy = (v_opt * device.params.resistance.current(
+            device.params.ecd, "AP", v_opt) * T_PULSE)
+        rows.append((f"{ratio:g}x", v_opt, failure,
+                     energy * 1e15))
+
+    print(format_table(
+        ["pitch", "optimal Vp (V)", "failure floor per write",
+         "write energy (fJ)"], rows, float_format=".3g"))
+    print()
+    print("Reading: the optimum sits where the falling WER curve meets "
+          "the rising breakdown curve (~1.3 V here). Density barely "
+          "moves the optimal voltage but raises the failure floor — the "
+          "worst-case corner needs slightly more overdrive at every "
+          "voltage, which is the breakdown side of the paper's Fig. 5 "
+          "trade-off, quantified.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""repro — magnetic coupling and density modeling for STT-MRAM arrays.
+
+A reproduction of Wu et al., *Impact of Magnetic Coupling and Density on
+STT-MRAM Performance* (DATE 2020). The library models intra- and inter-cell
+magnetic coupling in perpendicular STT-MRAM arrays with a bound-current
+magnetostatics solver, and evaluates the impact on the critical switching
+current, the average switching time, and the thermal stability factor.
+
+Quick start::
+
+    from repro import MTJDevice, PAPER_EVAL_DEVICE, VictimAnalysis
+
+    device = MTJDevice(PAPER_EVAL_DEVICE)       # the paper's 35 nm device
+    victim = VictimAnalysis(device, pitch=70e-9)
+    print(victim.summary())
+
+See ``examples/`` for runnable scenarios and ``repro.experiments`` for the
+figure-by-figure reproduction of the paper's evaluation.
+"""
+
+from . import units
+from .apps import (
+    ArrayYieldAnalysis,
+    DesignSpaceExplorer,
+    RetentionBudgetPlanner,
+    WriteErrorModel,
+)
+from .arrays import (
+    ArrayLayout,
+    DataPattern,
+    InterCellCoupling,
+    NeighborhoodPattern,
+    VictimAnalysis,
+)
+from .core import (
+    IcAnalysis,
+    InterCellModel,
+    IntraCellModel,
+    RetentionAnalysis,
+    SwitchingTimeAnalysis,
+    coupling_factor,
+    fit_effective_moments,
+    psi_threshold_pitch,
+    psi_vs_pitch,
+)
+from .device import (
+    DeviceParameters,
+    MTJDevice,
+    MTJState,
+    PAPER_EVAL_DEVICE,
+    ResistanceModel,
+)
+from .errors import (
+    CalibrationError,
+    GeometryError,
+    MeasurementError,
+    ParameterError,
+    ReproError,
+    SimulationError,
+)
+from .stack import MTJStack, build_reference_stack
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArrayLayout",
+    "ArrayYieldAnalysis",
+    "CalibrationError",
+    "DesignSpaceExplorer",
+    "RetentionBudgetPlanner",
+    "WriteErrorModel",
+    "DataPattern",
+    "DeviceParameters",
+    "GeometryError",
+    "IcAnalysis",
+    "InterCellCoupling",
+    "InterCellModel",
+    "IntraCellModel",
+    "MTJDevice",
+    "MTJStack",
+    "MTJState",
+    "MeasurementError",
+    "NeighborhoodPattern",
+    "PAPER_EVAL_DEVICE",
+    "ParameterError",
+    "ReproError",
+    "ResistanceModel",
+    "RetentionAnalysis",
+    "SimulationError",
+    "SwitchingTimeAnalysis",
+    "VictimAnalysis",
+    "build_reference_stack",
+    "coupling_factor",
+    "fit_effective_moments",
+    "psi_threshold_pitch",
+    "psi_vs_pitch",
+    "units",
+    "__version__",
+]

@@ -1,0 +1,43 @@
+"""Application-layer analyses built on the coupling model.
+
+These modules answer the engineering questions the paper's conclusions
+raise, using the calibrated device/array models:
+
+* :mod:`repro.apps.write_error` — write-error-rate vs pulse width
+  (the quantitative form of the paper's "larger write margin" warning),
+* :mod:`repro.apps.design_space` — joint pitch/size design-space sweeps
+  combining density, Psi, Ic spread, tw penalty and retention,
+* :mod:`repro.apps.yield_analysis` — Monte-Carlo array yield under
+  process variation plus coupling,
+* :mod:`repro.apps.retention_budget` — scrub-interval and application-
+  class budgeting from worst-case Delta.
+"""
+
+from .design_space import DESIGN_HEADERS, DesignPoint, DesignSpaceExplorer
+from .fault_models import CouplingFaultAnalyzer, FaultAssessment
+from .read_disturb import ReadDisturbAnalysis
+from .retention_budget import (
+    RetentionBudget,
+    RetentionBudgetPlanner,
+    classify_retention,
+)
+from .voltage_optimizer import BreakdownModel, WriteVoltageOptimizer
+from .write_error import WriteErrorModel
+from .yield_analysis import ArrayYieldAnalysis, YieldResult
+
+__all__ = [
+    "ArrayYieldAnalysis",
+    "BreakdownModel",
+    "CouplingFaultAnalyzer",
+    "DESIGN_HEADERS",
+    "DesignPoint",
+    "DesignSpaceExplorer",
+    "FaultAssessment",
+    "ReadDisturbAnalysis",
+    "RetentionBudget",
+    "RetentionBudgetPlanner",
+    "WriteErrorModel",
+    "WriteVoltageOptimizer",
+    "YieldResult",
+    "classify_retention",
+]

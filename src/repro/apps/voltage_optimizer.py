@@ -1,0 +1,141 @@
+"""Write-voltage optimization: error rate vs breakdown.
+
+The paper's Fig. 5 discussion: raising the write voltage shrinks the
+switching time and the coupling-induced spread, *"however, an increase in
+the switching voltage Vp also results in more power consumption and a
+higher vulnerability to breakdown"*. This module closes that trade-off
+quantitatively:
+
+* write errors fall with voltage (more overdrive),
+* dielectric breakdown of the ~1 nm MgO barrier rises with voltage; we
+  use the standard exponential (E-model) time-dependent dielectric
+  breakdown law ``t_BD(V) = t0 * exp(-gamma * V)``, so the per-pulse
+  breakdown probability is ``t_pulse / t_BD(V)`` (linear damage
+  accumulation),
+
+giving a U-shaped total failure rate per write whose minimum is the
+optimal write voltage for a given pulse budget and neighborhood corner.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..arrays.pattern import ALL_P
+from ..arrays.victim import VictimAnalysis
+from ..device.mtj import MTJDevice
+from ..errors import ParameterError
+from ..validation import require_positive
+from .write_error import WriteErrorModel
+
+
+@dataclass(frozen=True)
+class BreakdownModel:
+    """Exponential-law TDDB model of the tunnel barrier.
+
+    Parameters
+    ----------
+    t0:
+        Extrapolated time-to-breakdown at zero bias [s]. Default 3e9 s
+        (~100 years), a typical 1 nm MgO extrapolation.
+    gamma:
+        Voltage acceleration [1/V]. Default 14/V (E-model slope for thin
+        MgO; ~1.6 decades per 0.25 V).
+    """
+
+    t0: float = 3.0e9
+    gamma: float = 14.0
+
+    def __post_init__(self):
+        require_positive(self.t0, "t0")
+        require_positive(self.gamma, "gamma")
+
+    def time_to_breakdown(self, voltage):
+        """Characteristic time-to-breakdown [s] at ``voltage``."""
+        require_positive(voltage, "voltage")
+        return self.t0 * math.exp(-self.gamma * voltage)
+
+    def per_pulse_probability(self, voltage, t_pulse):
+        """Breakdown probability of one pulse (linear damage)."""
+        require_positive(t_pulse, "t_pulse")
+        return min(1.0, t_pulse / self.time_to_breakdown(voltage))
+
+
+class WriteVoltageOptimizer:
+    """Finds the voltage minimizing total failure per write.
+
+    Parameters
+    ----------
+    device:
+        :class:`~repro.device.mtj.MTJDevice`.
+    breakdown:
+        :class:`BreakdownModel` (defaults to the thin-MgO parameters).
+    """
+
+    def __init__(self, device, breakdown=None):
+        if not isinstance(device, MTJDevice):
+            raise ParameterError(
+                f"device must be an MTJDevice, got {type(device)!r}")
+        self.device = device
+        self.breakdown = BreakdownModel() if breakdown is None \
+            else breakdown
+        self._wer = WriteErrorModel(device)
+
+    def total_failure(self, voltage, t_pulse, hz_stray=0.0):
+        """WER + per-pulse breakdown probability at one voltage."""
+        wer = self._wer.wer(t_pulse, voltage, hz_stray)
+        bd = self.breakdown.per_pulse_probability(voltage, t_pulse)
+        return float(wer) + bd
+
+    def sweep(self, voltages, t_pulse, hz_stray=0.0):
+        """(wer, breakdown, total) arrays over a voltage grid."""
+        voltages = np.asarray(voltages, dtype=float)
+        wer = np.array([
+            float(self._wer.wer(t_pulse, v, hz_stray)) for v in voltages])
+        bd = np.array([
+            self.breakdown.per_pulse_probability(v, t_pulse)
+            for v in voltages])
+        return wer, bd, wer + bd
+
+    def optimal_voltage(self, t_pulse, hz_stray=0.0,
+                        v_bounds=(0.75, 1.6), tolerance=1e-4):
+        """Voltage [V] minimizing the total failure rate (golden search).
+
+        The objective is unimodal (monotone-decreasing WER plus
+        monotone-increasing breakdown) on any interval above the
+        switching threshold.
+        """
+        require_positive(t_pulse, "t_pulse")
+        lo, hi = float(v_bounds[0]), float(v_bounds[1])
+        if lo >= hi:
+            raise ParameterError(f"invalid voltage bounds {v_bounds!r}")
+        golden = (math.sqrt(5.0) - 1.0) / 2.0
+        a, b = lo, hi
+        c = b - golden * (b - a)
+        d = a + golden * (b - a)
+        fc = self.total_failure(c, t_pulse, hz_stray)
+        fd = self.total_failure(d, t_pulse, hz_stray)
+        while b - a > tolerance:
+            if fc < fd:
+                b, d, fd = d, c, fc
+                c = b - golden * (b - a)
+                fc = self.total_failure(c, t_pulse, hz_stray)
+            else:
+                a, c, fc = c, d, fd
+                d = a + golden * (b - a)
+                fd = self.total_failure(d, t_pulse, hz_stray)
+        return 0.5 * (a + b)
+
+    def worst_corner_optimum(self, t_pulse, pitch):
+        """Optimal voltage and failure rate at the NP8 = 0 corner.
+
+        Returns ``(voltage, total_failure)`` for the victim under its
+        worst neighborhood at ``pitch`` — the array-level design point.
+        """
+        victim = VictimAnalysis(self.device, pitch)
+        hz = victim.hz_total(ALL_P)
+        v_opt = self.optimal_voltage(t_pulse, hz)
+        return v_opt, self.total_failure(v_opt, t_pulse, hz)

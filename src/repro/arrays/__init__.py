@@ -1,0 +1,58 @@
+"""Memory-array modeling: layout, data patterns, inter-cell coupling.
+
+Named ``arrays`` (plural) to avoid shadowing the stdlib ``array`` module.
+
+* :mod:`repro.arrays.layout` — cell placement on a square-pitch grid and
+  the paper's 3x3 victim/aggressor neighborhood (Fig. 1b),
+* :mod:`repro.arrays.pattern` — NP8 neighborhood patterns and whole-array
+  data patterns,
+* :mod:`repro.arrays.coupling` — the inter-cell stray-field model
+  (Section IV-B) with cached per-position kernels,
+* :mod:`repro.arrays.victim` — combined intra+inter analysis of a victim
+  cell,
+* :mod:`repro.arrays.density` — areal-density bookkeeping.
+"""
+
+from .coupling import CouplingKernels, InterCellCoupling
+from .density import areal_density_gbit_per_mm2, cell_area, density_table
+from .extended import ExtendedNeighborhood, fast_array_field_map
+from .retention_map import RetentionMap, retention_map
+from .statistics import (
+    FieldDistribution,
+    expected_retention_failure_rate,
+    pattern_field_distribution,
+)
+from .layout import ArrayLayout, Neighborhood3x3
+from .pattern import (
+    DataPattern,
+    NeighborhoodPattern,
+    all_patterns,
+    checkerboard,
+    pattern_classes,
+    solid,
+)
+from .victim import VictimAnalysis
+
+__all__ = [
+    "ArrayLayout",
+    "CouplingKernels",
+    "DataPattern",
+    "ExtendedNeighborhood",
+    "FieldDistribution",
+    "InterCellCoupling",
+    "Neighborhood3x3",
+    "NeighborhoodPattern",
+    "RetentionMap",
+    "VictimAnalysis",
+    "all_patterns",
+    "areal_density_gbit_per_mm2",
+    "cell_area",
+    "checkerboard",
+    "density_table",
+    "expected_retention_failure_rate",
+    "fast_array_field_map",
+    "pattern_classes",
+    "pattern_field_distribution",
+    "retention_map",
+    "solid",
+]

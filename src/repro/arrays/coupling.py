@@ -1,0 +1,208 @@
+"""Inter-cell magnetic coupling (paper Section IV-B).
+
+The inter-cell stray field at the victim's FL is the superposition of the
+fields of every neighbor's three magnetic layers::
+
+    Hs_inter = sum_i ( Hs_HL(Ci) + Hs_RL(Ci) + Hs_FL(Ci) )
+
+The RL/HL contributions are fixed once geometry is fixed; only the FL term
+flips sign with the stored data. Exploiting linearity, the model is fully
+described by two kernels per neighbor position:
+
+* ``fixed``  — Hz at the victim FL center from the neighbor's RL + HL,
+* ``fl``     — Hz from the neighbor's FL in the P state (+z); the AP state
+  contributes the negative of this.
+
+so the field for pattern NP8 is
+``sum_i fixed(pos_i) + sum_i sign_i * fl(pos_i)`` with ``sign_i = +1`` for
+P and -1 for AP. Kernels are cached per lateral offset; by symmetry the
+four direct neighbors share one kernel value and the four diagonals
+another, which is why Fig. 4a collapses onto 25 classes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..fields import LoopCollection, layer_to_loops
+from ..stack import MTJStack
+from ..units import am_to_oe
+from ..validation import require_positive
+from .layout import Neighborhood3x3
+from .pattern import NeighborhoodPattern, all_patterns
+
+
+@dataclass(frozen=True)
+class CouplingKernels:
+    """Per-position field kernels of one stack geometry.
+
+    ``fixed_direct``/``fixed_diagonal`` are the RL+HL contributions [A/m]
+    of one direct/diagonal neighbor; ``fl_direct``/``fl_diagonal`` the
+    P-state FL contributions.
+    """
+
+    fixed_direct: float
+    fixed_diagonal: float
+    fl_direct: float
+    fl_diagonal: float
+
+    @property
+    def pattern_independent(self):
+        """Total fixed (RL+HL) field of all 8 neighbors [A/m]."""
+        return 4.0 * (self.fixed_direct + self.fixed_diagonal)
+
+    @property
+    def max_variation(self):
+        """Max Hz_inter variation across the 256 patterns [A/m].
+
+        Flipping one neighbor P<->AP changes the field by twice its FL
+        kernel, so the full range is ``2 * (4 |fl_d| + 4 |fl_g|)``.
+        """
+        return 2.0 * 4.0 * (abs(self.fl_direct) + abs(self.fl_diagonal))
+
+
+class InterCellCoupling:
+    """Inter-cell coupling model for a 3x3 neighborhood.
+
+    Parameters
+    ----------
+    stack:
+        The (shared) :class:`~repro.stack.MTJStack` of every cell.
+    pitch:
+        Array pitch [m].
+    evaluation_point:
+        Where on the victim FL the field is evaluated; default is the FL
+        center (0, 0, 0), the paper's calibration point.
+    """
+
+    def __init__(self, stack, pitch, evaluation_point=(0.0, 0.0, 0.0),
+                 temperature=None):
+        if not isinstance(stack, MTJStack):
+            raise ParameterError(
+                f"stack must be an MTJStack, got {type(stack)!r}")
+        require_positive(pitch, "pitch")
+        self.stack = stack
+        self.pitch = float(pitch)
+        self.neighborhood = Neighborhood3x3(pitch=self.pitch)
+        self.evaluation_point = np.asarray(evaluation_point, dtype=float)
+        self.temperature = temperature
+        self._kernel_cache = {}
+
+    # -- kernels -----------------------------------------------------------
+
+    def _neighbor_loops(self, offset_xy, layers, direction=None):
+        loops = []
+        for layer in layers:
+            loops.extend(layer_to_loops(
+                layer, self.stack.radius, center_xy=offset_xy,
+                direction=direction, temperature=self.temperature))
+        return LoopCollection(loops)
+
+    def _kernel(self, offset_xy, kind):
+        """Hz [A/m] at the victim point from one neighbor at ``offset_xy``.
+
+        ``kind`` is ``"fixed"`` (RL+HL with their pinned directions) or
+        ``"fl"`` (FL in the P state).
+        """
+        key = (round(offset_xy[0], 15), round(offset_xy[1], 15), kind)
+        if key not in self._kernel_cache:
+            if kind == "fixed":
+                col = self._neighbor_loops(
+                    offset_xy, self.stack.fixed_layers())
+            elif kind == "fl":
+                col = self._neighbor_loops(
+                    offset_xy, (self.stack.free_layer,), direction=+1)
+            else:
+                raise ParameterError(f"unknown kernel kind {kind!r}")
+            self._kernel_cache[key] = float(
+                col.field(self.evaluation_point)[2])
+        return self._kernel_cache[key]
+
+    def kernels(self):
+        """The four symmetry-reduced kernels of this geometry."""
+        direct = self.neighborhood.aggressor_positions()[0]
+        diagonal = self.neighborhood.aggressor_positions()[4]
+        return CouplingKernels(
+            fixed_direct=self._kernel(direct, "fixed"),
+            fixed_diagonal=self._kernel(diagonal, "fixed"),
+            fl_direct=self._kernel(direct, "fl"),
+            fl_diagonal=self._kernel(diagonal, "fl"),
+        )
+
+    # -- pattern fields ------------------------------------------------------
+
+    def hz_inter(self, pattern):
+        """``Hz_s_inter`` [A/m] at the victim FL for one NP8 pattern."""
+        if not isinstance(pattern, NeighborhoodPattern):
+            pattern = NeighborhoodPattern.from_int(int(pattern))
+        total = 0.0
+        positions = self.neighborhood.aggressor_positions()
+        for i, pos in enumerate(positions):
+            total += self._kernel(pos, "fixed")
+            total += pattern.signs()[i] * self._kernel(pos, "fl")
+        return total
+
+    def hz_inter_fast(self, pattern):
+        """Same as :meth:`hz_inter` via the symmetry-reduced kernels."""
+        if not isinstance(pattern, NeighborhoodPattern):
+            pattern = NeighborhoodPattern.from_int(int(pattern))
+        k = self.kernels()
+        n_dir, n_diag = pattern.direct_ones, pattern.diagonal_ones
+        # sign sum over 4 neighbors with n ones: (4 - n) - n = 4 - 2n.
+        return (k.pattern_independent
+                + (4 - 2 * n_dir) * k.fl_direct
+                + (4 - 2 * n_diag) * k.fl_diagonal)
+
+    def hz_inter_all(self):
+        """``Hz_s_inter`` [A/m] for all 256 patterns (decimal order)."""
+        k = self.kernels()
+        values = np.empty(256)
+        for pattern in all_patterns():
+            values[pattern.to_int()] = (
+                k.pattern_independent
+                + (4 - 2 * pattern.direct_ones) * k.fl_direct
+                + (4 - 2 * pattern.diagonal_ones) * k.fl_diagonal)
+        return values
+
+    def class_table(self):
+        """Fig. 4a data: ``{(n_direct, n_diag): Hz_inter [A/m]}``."""
+        k = self.kernels()
+        table = {}
+        for n_dir in range(5):
+            for n_diag in range(5):
+                table[(n_dir, n_diag)] = (
+                    k.pattern_independent
+                    + (4 - 2 * n_dir) * k.fl_direct
+                    + (4 - 2 * n_diag) * k.fl_diagonal)
+        return table
+
+    def extremes(self):
+        """(min, max) of ``Hz_inter`` [A/m] over the 256 patterns.
+
+        With the reference stack the minimum occurs at NP8 = 0 (all P) and
+        the maximum at NP8 = 255 (all AP), as in the paper.
+        """
+        values = self.hz_inter_all()
+        return float(np.min(values)), float(np.max(values))
+
+    def max_variation(self):
+        """Maximum pattern-to-pattern variation of ``Hz_inter`` [A/m]."""
+        return self.kernels().max_variation
+
+    def summary_oe(self):
+        """Kernel/extreme summary in oersted (for reports)."""
+        k = self.kernels()
+        lo, hi = self.extremes()
+        return {
+            "pitch_nm": self.pitch * 1e9,
+            "fixed_direct_oe": am_to_oe(k.fixed_direct),
+            "fixed_diagonal_oe": am_to_oe(k.fixed_diagonal),
+            "fl_direct_oe": am_to_oe(k.fl_direct),
+            "fl_diagonal_oe": am_to_oe(k.fl_diagonal),
+            "hz_min_oe": am_to_oe(lo),
+            "hz_max_oe": am_to_oe(hi),
+            "variation_oe": am_to_oe(k.max_variation),
+        }

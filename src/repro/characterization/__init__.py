@@ -1,0 +1,58 @@
+"""Measurement emulation and parameter extraction.
+
+The paper calibrates its models against silicon measurements. This
+subpackage reproduces the full measurement methodology on the physics-based
+device models:
+
+* :mod:`repro.characterization.rh_loop` — repeated R-H loop measurements
+  with statistics over cycles (Section III),
+* :mod:`repro.characterization.extraction` — Hc / Hoffset / eCD extraction,
+* :mod:`repro.characterization.switching_prob` — switching probability vs
+  field from repeated cycling (Section V-A),
+* :mod:`repro.characterization.fitting` — the Thomas-et-al. curve fit
+  extracting ``Hk`` and ``Delta0`` from switching-probability data,
+* :mod:`repro.characterization.vsm` — blanket-film ``Ms*t`` measurement,
+* :mod:`repro.characterization.variation` — device-to-device process
+  variation ensembles.
+"""
+
+from .bake import BakeResult, delta_from_bake, plan_bake, run_bake_test
+from .extraction import (
+    extract_ecd,
+    extract_hc_oe,
+    extract_offset_oe,
+    loop_statistics,
+)
+from .fitting import SwitchingFieldFit, fit_hk_delta0
+from .rh_loop import RHMeasurement, RHStatistics
+from .switching_prob import (
+    switching_probability_curve,
+    switching_probability_model,
+)
+from .tmr_bias import TmrBiasFit, fit_tmr_bias, measure_rv_curves
+from .variation import ProcessVariation, sample_device_parameters
+from .vsm import VSMMeasurement, measure_blanket_moments
+
+__all__ = [
+    "BakeResult",
+    "ProcessVariation",
+    "RHMeasurement",
+    "delta_from_bake",
+    "plan_bake",
+    "run_bake_test",
+    "RHStatistics",
+    "SwitchingFieldFit",
+    "TmrBiasFit",
+    "VSMMeasurement",
+    "extract_ecd",
+    "extract_hc_oe",
+    "extract_offset_oe",
+    "fit_hk_delta0",
+    "fit_tmr_bias",
+    "measure_rv_curves",
+    "loop_statistics",
+    "measure_blanket_moments",
+    "sample_device_parameters",
+    "switching_probability_curve",
+    "switching_probability_model",
+]

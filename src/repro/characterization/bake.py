@@ -1,0 +1,138 @@
+"""Retention bake-test emulation and Delta extraction.
+
+The industry-standard way to measure the thermal stability factor of a
+*population* is a bake test: write a known pattern, hold the parts at an
+elevated temperature for a fixed time, read back, and count the flipped
+bits. The fail fraction follows the Neel-Arrhenius law
+
+``p_fail(t) = 1 - exp(-f0 t exp(-Delta(T_bake)))``
+
+so the measured fail counts at one or more bake conditions invert to the
+Delta at bake temperature. This module emulates the bake (Monte-Carlo
+over bits) and provides the inversion, giving the library a second,
+independent route to Delta besides the switching-field fit of
+:mod:`repro.characterization.fitting`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..device.mtj import MTJDevice, MTJState
+from ..device.retention import flip_rate
+from ..errors import MeasurementError, ParameterError
+from ..validation import require_int_in_range, require_positive
+
+
+@dataclass(frozen=True)
+class BakeResult:
+    """Outcome of one emulated bake test.
+
+    Attributes
+    ----------
+    temperature:
+        Bake temperature [K].
+    duration:
+        Bake time [s].
+    n_bits:
+        Population size.
+    n_failed:
+        Bits that flipped during the bake.
+    """
+
+    temperature: float
+    duration: float
+    n_bits: int
+    n_failed: int
+
+    @property
+    def fail_fraction(self):
+        """Observed fail fraction."""
+        return self.n_failed / self.n_bits
+
+
+def run_bake_test(device, temperature, duration, n_bits=10_000,
+                  state=MTJState.P, hz_stray=None, rng=None):
+    """Emulate a retention bake on ``n_bits`` identical devices.
+
+    Parameters
+    ----------
+    device:
+        :class:`~repro.device.mtj.MTJDevice` (defines Delta(T)).
+    temperature:
+        Bake temperature [K].
+    duration:
+        Bake time [s].
+    n_bits:
+        Population size.
+    state:
+        The written state (the worst case under negative stray fields is
+        P, matching the paper's Fig. 6 conclusion).
+    hz_stray:
+        Stray field during the bake [A/m]; defaults to the device's
+        intra-cell field.
+    rng:
+        Seed or generator.
+
+    Returns
+    -------
+    BakeResult
+    """
+    if not isinstance(device, MTJDevice):
+        raise ParameterError(
+            f"device must be an MTJDevice, got {type(device)!r}")
+    require_positive(temperature, "temperature")
+    require_positive(duration, "duration")
+    n_bits = require_int_in_range(n_bits, "n_bits", 1, 100_000_000)
+    rng = np.random.default_rng(rng)
+    stray = (device.intra_stray_field() if hz_stray is None
+             else float(hz_stray))
+
+    delta = device.delta(state, stray, temperature=temperature)
+    rate = flip_rate(delta, device.params.attempt_frequency)
+    p_fail = -math.expm1(-rate * duration)
+    n_failed = int(rng.binomial(n_bits, p_fail))
+    return BakeResult(temperature=float(temperature),
+                      duration=float(duration), n_bits=n_bits,
+                      n_failed=n_failed)
+
+
+def delta_from_bake(result, attempt_frequency=1.0e9):
+    """Invert a bake result to the Delta at bake temperature.
+
+    ``Delta = ln( f0 t / -ln(1 - p_fail) )``. Requires at least one but
+    not all bits to have failed (otherwise the estimate is unbounded).
+    """
+    if result.n_failed == 0:
+        raise MeasurementError(
+            "no bit failed: bake too short/cold to bound Delta from above")
+    if result.n_failed == result.n_bits:
+        raise MeasurementError(
+            "every bit failed: bake too long/hot to bound Delta from below")
+    p_fail = result.fail_fraction
+    hazard = -math.log1p(-p_fail)
+    return math.log(attempt_frequency * result.duration / hazard)
+
+
+def plan_bake(device, target_fail_fraction, temperature,
+              state=MTJState.P, hz_stray=None):
+    """Bake duration [s] expected to produce ``target_fail_fraction``.
+
+    Used to design a bake experiment that actually resolves Delta (fail
+    fractions near 0 or 1 carry no information).
+    """
+    if not isinstance(device, MTJDevice):
+        raise ParameterError(
+            f"device must be an MTJDevice, got {type(device)!r}")
+    if not 0.0 < target_fail_fraction < 1.0:
+        raise ParameterError(
+            "target_fail_fraction must be in (0, 1), got "
+            f"{target_fail_fraction!r}")
+    stray = (device.intra_stray_field() if hz_stray is None
+             else float(hz_stray))
+    delta = device.delta(state, stray, temperature=temperature)
+    rate = flip_rate(delta, device.params.attempt_frequency)
+    return -math.log1p(-target_fail_fraction) / rate

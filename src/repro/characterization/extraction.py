@@ -1,0 +1,68 @@
+"""Parameter extraction from measured loops and resistances.
+
+Implements the extraction formulas of the paper's Section III:
+
+* ``Hc = (Hsw_p - Hsw_n) / 2``,
+* ``Hoffset = (Hsw_p + Hsw_n) / 2`` with ``Hs_intra = -Hoffset``,
+* ``eCD = sqrt(4/pi * RA / RP)`` from the loop's low resistance level.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..device.resistance import ecd_from_rp
+from ..errors import MeasurementError
+from ..units import am_to_oe
+
+
+def extract_hc_oe(loops):
+    """Mean coercivity [Oe] over an iterable of HysteresisLoop objects."""
+    values = [loop.coercivity for loop in loops]
+    if not values:
+        raise MeasurementError("no loops given")
+    return am_to_oe(float(np.mean(values)))
+
+
+def extract_offset_oe(loops):
+    """Mean offset field [Oe] over an iterable of loops."""
+    values = [loop.offset_field for loop in loops]
+    if not values:
+        raise MeasurementError("no loops given")
+    return am_to_oe(float(np.mean(values)))
+
+
+def extract_ecd(ra, loop):
+    """Device eCD [m] from its RA product [Ohm*m^2] and one loop's RP.
+
+    The paper's method: the RA product is a wafer-level constant measured
+    at blanket stage; the loop's low resistance level gives RP, and the eCD
+    follows from ``RP = RA / area``.
+    """
+    return ecd_from_rp(ra, loop.rp)
+
+
+def loop_statistics(loops):
+    """Summary dict over an iterable of loops (fields in Oe).
+
+    Keys: ``hsw_p_oe``, ``hsw_n_oe``, ``hc_oe``, ``hoffset_oe``,
+    ``stray_oe`` (mean values), plus ``hsw_p_std_oe``/``hsw_n_std_oe``.
+    """
+    loops = list(loops)
+    if not loops:
+        raise MeasurementError("no loops given")
+    hsw_p = np.array([loop.hsw_p for loop in loops], dtype=float)
+    hsw_n = np.array([loop.hsw_n for loop in loops], dtype=float)
+    if np.any(np.isnan(hsw_p)) or np.any(np.isnan(hsw_n)):
+        raise MeasurementError("some loops lack switching events")
+    hc = 0.5 * (hsw_p - hsw_n)
+    hoffset = 0.5 * (hsw_p + hsw_n)
+    return {
+        "hsw_p_oe": am_to_oe(float(np.mean(hsw_p))),
+        "hsw_p_std_oe": am_to_oe(float(np.std(hsw_p))),
+        "hsw_n_oe": am_to_oe(float(np.mean(hsw_n))),
+        "hsw_n_std_oe": am_to_oe(float(np.std(hsw_n))),
+        "hc_oe": am_to_oe(float(np.mean(hc))),
+        "hoffset_oe": am_to_oe(float(np.mean(hoffset))),
+        "stray_oe": -am_to_oe(float(np.mean(hoffset))),
+    }

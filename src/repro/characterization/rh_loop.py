@@ -1,0 +1,123 @@
+"""Repeated R-H loop measurement with cycle statistics.
+
+The switching points of an MTJ are stochastic; the paper measures each
+device repeatedly (1000 cycles for the switching-probability analysis) and
+reports the device-to-device spread as error bars. :class:`RHMeasurement`
+runs ``n_cycles`` simulated loops on one device and aggregates the per-cycle
+extractions into an :class:`RHStatistics` record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..device.mtj import MTJDevice
+from ..errors import MeasurementError, ParameterError
+from ..units import am_to_oe
+from ..validation import require_int_in_range
+
+
+@dataclass(frozen=True)
+class RHStatistics:
+    """Aggregated results of repeated R-H loop measurements.
+
+    All field statistics are stored in A/m; the ``*_oe`` properties convert
+    for reporting.
+    """
+
+    hsw_p_mean: float
+    hsw_p_std: float
+    hsw_n_mean: float
+    hsw_n_std: float
+    rp: float
+    rap: float
+    n_cycles: int
+    n_valid: int
+
+    @property
+    def hc(self):
+        """Mean coercivity [A/m]."""
+        return 0.5 * (self.hsw_p_mean - self.hsw_n_mean)
+
+    @property
+    def hoffset(self):
+        """Mean offset field [A/m]."""
+        return 0.5 * (self.hsw_p_mean + self.hsw_n_mean)
+
+    @property
+    def stray_field(self):
+        """Inferred stray field at the FL [A/m] (= -Hoffset)."""
+        return -self.hoffset
+
+    @property
+    def hc_oe(self):
+        """Mean coercivity [Oe]."""
+        return am_to_oe(self.hc)
+
+    @property
+    def hoffset_oe(self):
+        """Mean offset field [Oe]."""
+        return am_to_oe(self.hoffset)
+
+    @property
+    def tmr(self):
+        """TMR ratio at the read voltage."""
+        return self.rap / self.rp - 1.0
+
+
+class RHMeasurement:
+    """Runs repeated loop measurements on one device.
+
+    Parameters
+    ----------
+    device:
+        :class:`~repro.device.mtj.MTJDevice` under test.
+    protocol:
+        Optional :class:`~repro.device.hysteresis.SweepProtocol` override.
+    hz_stray:
+        Optional stray-field override [A/m] (defaults to the device's own
+        intra-cell field, the isolated-device situation).
+    """
+
+    def __init__(self, device, protocol=None, hz_stray=None):
+        if not isinstance(device, MTJDevice):
+            raise ParameterError(
+                f"device must be an MTJDevice, got {type(device)!r}")
+        self.device = device
+        self.simulator = device.rh_simulator(protocol=protocol,
+                                             hz_stray=hz_stray)
+
+    def run(self, n_cycles=25, rng=None):
+        """Measure ``n_cycles`` loops; returns :class:`RHStatistics`.
+
+        Cycles in which the device failed to complete a switching cycle
+        (possible at very short sweeps) are dropped; at least one valid
+        cycle is required.
+        """
+        n_cycles = require_int_in_range(n_cycles, "n_cycles", 1, 1_000_000)
+        rng = np.random.default_rng(rng)
+        hsw_p, hsw_n = [], []
+        rp_values, rap_values = [], []
+        for _ in range(n_cycles):
+            loop = self.simulator.simulate(rng=rng)
+            if loop.hsw_p is None or loop.hsw_n is None:
+                continue
+            hsw_p.append(loop.hsw_p)
+            hsw_n.append(loop.hsw_n)
+            rp_values.append(loop.rp)
+            rap_values.append(loop.rap)
+        if not hsw_p:
+            raise MeasurementError(
+                "no cycle produced a complete hysteresis loop")
+        return RHStatistics(
+            hsw_p_mean=float(np.mean(hsw_p)),
+            hsw_p_std=float(np.std(hsw_p)),
+            hsw_n_mean=float(np.mean(hsw_n)),
+            hsw_n_std=float(np.std(hsw_n)),
+            rp=float(np.mean(rp_values)),
+            rap=float(np.mean(rap_values)),
+            n_cycles=n_cycles,
+            n_valid=len(hsw_p),
+        )

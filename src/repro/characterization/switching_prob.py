@@ -1,0 +1,105 @@
+"""Switching probability vs applied field.
+
+The paper (Section V-A) measures the R-H loop of one device for 1000 cycles
+to obtain the statistical switching probability at each field, then fits it
+to extract ``Hk`` and ``Delta0`` with the technique of Thomas et al. [21].
+
+The measurement here is the fresh-state protocol: for each field value the
+device is prepared in the AP state, the field is applied for a fixed pulse
+duration, and the final state is read out; repeating ``n_cycles`` times
+estimates ``P_sw(H)``. The matching analytic model is the thermal-activation
+CDF::
+
+    P_sw(H) = 1 - exp( -f0 * t_pulse * exp( -Delta0 (1 - H_eff/Hk)^2 ) )
+
+with ``H_eff = H + Hz_stray``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..constants import ATTEMPT_FREQUENCY
+from ..errors import ParameterError
+from ..validation import require_int_in_range, require_positive
+
+
+def switching_probability_model(fields, hk, delta0, t_pulse,
+                                hz_stray=0.0,
+                                attempt_frequency=ATTEMPT_FREQUENCY):
+    """Analytic ``P_sw(H)`` for AP->P field-driven switching.
+
+    Parameters
+    ----------
+    fields:
+        Applied fields [A/m] (array-like). Only fields that destabilize AP
+        (positive effective fields) produce appreciable probabilities.
+    hk:
+        Anisotropy field [A/m].
+    delta0:
+        Intrinsic thermal stability factor.
+    t_pulse:
+        Field pulse duration [s].
+    hz_stray:
+        Constant stray field at the FL [A/m].
+    attempt_frequency:
+        Thermal attempt frequency [Hz].
+
+    Returns
+    -------
+    numpy.ndarray of probabilities in [0, 1].
+    """
+    require_positive(hk, "hk")
+    require_positive(delta0, "delta0")
+    require_positive(t_pulse, "t_pulse")
+    require_positive(attempt_frequency, "attempt_frequency")
+    h_eff = np.asarray(fields, dtype=float) + float(hz_stray)
+    reduced = np.clip(1.0 - h_eff / hk, 0.0, 2.0)
+    barrier = delta0 * reduced * reduced
+    rate = attempt_frequency * np.exp(-barrier)
+    return -np.expm1(-rate * t_pulse)
+
+
+def switching_probability_curve(device, fields, n_cycles=200, t_pulse=1e-3,
+                                rng=None, hz_stray=None):
+    """Monte-Carlo ``P_sw(H)`` measurement on a device.
+
+    For each field the device is reset to AP, pulsed, and read; the
+    switched fraction over ``n_cycles`` estimates the probability.
+
+    Parameters
+    ----------
+    device:
+        :class:`~repro.device.mtj.MTJDevice`.
+    fields:
+        Applied fields [A/m].
+    n_cycles:
+        Repetitions per field point (the paper uses 1000).
+    t_pulse:
+        Pulse duration [s].
+    rng:
+        Seed or generator.
+    hz_stray:
+        Stray-field override [A/m]; defaults to the device's intra-cell
+        field.
+
+    Returns
+    -------
+    (fields, probabilities):
+        Both numpy arrays; probabilities are switched fractions.
+    """
+    n_cycles = require_int_in_range(n_cycles, "n_cycles", 1, 1_000_000)
+    require_positive(t_pulse, "t_pulse")
+    fields = np.asarray(fields, dtype=float)
+    if fields.ndim != 1 or fields.size == 0:
+        raise ParameterError("fields must be a non-empty 1-D array")
+    rng = np.random.default_rng(rng)
+    stray = (device.intra_stray_field() if hz_stray is None
+             else float(hz_stray))
+
+    p_model = switching_probability_model(
+        fields, device.params.hk, device.params.delta0, t_pulse,
+        hz_stray=stray,
+        attempt_frequency=device.params.attempt_frequency)
+    switched = rng.binomial(n_cycles, p_model)
+    return fields, switched / n_cycles

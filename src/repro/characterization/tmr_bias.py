@@ -1,0 +1,119 @@
+"""TMR-vs-bias measurement emulation and V_half extraction.
+
+The switching-time model needs the bias roll-off of the AP resistance
+(paper Eq. 4's nonlinear ``R(Vp)``). Experimentally this comes from R-V
+sweeps in both states; the standard summary parameters are the zero-bias
+TMR and ``V_half``, the bias where the TMR has dropped to half. This
+module emulates the measurement (with instrument noise) and fits the
+``TMR(V) = TMR0 / (1 + V^2/Vh^2)`` law back out — closing the loop on the
+resistance model exactly the way the R-H loop modules do for the stray
+field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import optimize
+
+from ..device.mtj import MTJDevice
+from ..errors import CalibrationError, ParameterError
+from ..validation import require_fraction, require_positive
+
+
+@dataclass(frozen=True)
+class TmrBiasFit:
+    """Result of the TMR(V) fit.
+
+    Attributes
+    ----------
+    tmr0:
+        Zero-bias TMR ratio.
+    v_half:
+        Half-TMR voltage [V].
+    rmse:
+        RMS residual of the TMR fit (dimensionless TMR units).
+    """
+
+    tmr0: float
+    v_half: float
+    rmse: float
+
+
+def measure_rv_curves(device, voltages, rng=None, noise=0.005):
+    """Emulated R-V measurement of both states.
+
+    Parameters
+    ----------
+    device:
+        :class:`~repro.device.mtj.MTJDevice`.
+    voltages:
+        Bias points [V] (positive; the model is bias-symmetric).
+    rng:
+        Seed or generator.
+    noise:
+        1-sigma relative resistance measurement noise.
+
+    Returns
+    -------
+    (r_p, r_ap):
+        Arrays of measured resistances [Ohm] per bias point.
+    """
+    if not isinstance(device, MTJDevice):
+        raise ParameterError(
+            f"device must be an MTJDevice, got {type(device)!r}")
+    require_fraction(noise, "noise")
+    voltages = np.asarray(voltages, dtype=float)
+    if voltages.ndim != 1 or voltages.size == 0:
+        raise ParameterError("voltages must be a non-empty 1-D array")
+    if np.any(voltages < 0):
+        raise ParameterError("voltages must be >= 0")
+    rng = np.random.default_rng(rng)
+    params = device.params
+    r_p = np.array([params.resistance.rp(params.ecd)
+                    for _ in voltages])
+    r_ap = np.array([params.resistance.rap(params.ecd, float(v))
+                     for v in voltages])
+    r_p = r_p * (1.0 + noise * rng.standard_normal(voltages.size))
+    r_ap = r_ap * (1.0 + noise * rng.standard_normal(voltages.size))
+    return r_p, r_ap
+
+
+def fit_tmr_bias(voltages, r_p, r_ap, v_half_guess=0.5):
+    """Fit ``TMR0`` and ``V_half`` from measured R-V curves.
+
+    Raises :class:`~repro.errors.CalibrationError` when the data cannot
+    constrain the roll-off (e.g. all points at one bias).
+    """
+    voltages = np.asarray(voltages, dtype=float)
+    r_p = np.asarray(r_p, dtype=float)
+    r_ap = np.asarray(r_ap, dtype=float)
+    if not (voltages.shape == r_p.shape == r_ap.shape):
+        raise CalibrationError("voltages, r_p, r_ap must match in shape")
+    if voltages.size < 3:
+        raise CalibrationError("need at least 3 bias points")
+    if np.ptp(voltages) <= 0:
+        raise CalibrationError(
+            "bias points are degenerate; cannot fit the roll-off")
+    require_positive(v_half_guess, "v_half_guess")
+
+    tmr_measured = r_ap / np.mean(r_p) - 1.0
+    if np.any(tmr_measured <= 0):
+        raise CalibrationError("measured TMR must be positive")
+
+    def model(v, tmr0, v_half):
+        return tmr0 / (1.0 + (v / v_half) ** 2)
+
+    try:
+        popt, _ = optimize.curve_fit(
+            model, voltages, tmr_measured,
+            p0=[float(tmr_measured.max()), v_half_guess],
+            bounds=([1e-3, 1e-3], [20.0, 10.0]), maxfev=10_000)
+    except (RuntimeError, ValueError) as exc:
+        raise CalibrationError(f"TMR(V) fit failed: {exc}") from exc
+
+    tmr0, v_half = float(popt[0]), float(popt[1])
+    residual = model(voltages, tmr0, v_half) - tmr_measured
+    return TmrBiasFit(tmr0=tmr0, v_half=v_half,
+                      rmse=float(np.sqrt(np.mean(residual ** 2))))

@@ -1,0 +1,87 @@
+"""Device-to-device process variation.
+
+The error bars of the paper's Fig. 2b come from process variations (size,
+RA, anisotropy) plus intrinsic switching stochasticity. This module samples
+device-parameter ensembles around a nominal design so the experiments can
+regenerate those error bars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..device.mtj import DeviceParameters
+from ..errors import ParameterError
+from ..validation import require_fraction, require_int_in_range
+
+
+@dataclass(frozen=True)
+class ProcessVariation:
+    """1-sigma relative variations of device parameters.
+
+    Parameters
+    ----------
+    sigma_ecd:
+        Relative eCD variation (etch CD control).
+    sigma_hk:
+        Relative anisotropy-field variation.
+    sigma_delta0:
+        Relative thermal-stability variation (beyond what follows from
+        eCD, e.g. interface roughness).
+    """
+
+    sigma_ecd: float = 0.04
+    sigma_hk: float = 0.03
+    sigma_delta0: float = 0.05
+
+    def __post_init__(self):
+        require_fraction(self.sigma_ecd, "sigma_ecd")
+        require_fraction(self.sigma_hk, "sigma_hk")
+        require_fraction(self.sigma_delta0, "sigma_delta0")
+
+
+def sample_device_parameters(base, n_devices, variation=None, rng=None,
+                             scale_delta0_with_area=True):
+    """Sample ``n_devices`` parameter sets around ``base``.
+
+    Parameters
+    ----------
+    base:
+        Nominal :class:`~repro.device.mtj.DeviceParameters`.
+    n_devices:
+        Ensemble size.
+    variation:
+        :class:`ProcessVariation` (defaults to typical values).
+    rng:
+        Seed or generator.
+    scale_delta0_with_area:
+        When True, ``Delta0`` of each sample additionally scales with its
+        sampled area (thermal stability is extensive in the activation
+        area for fixed material parameters).
+
+    Returns
+    -------
+    list[DeviceParameters]
+    """
+    if not isinstance(base, DeviceParameters):
+        raise ParameterError(
+            f"base must be DeviceParameters, got {type(base)!r}")
+    n_devices = require_int_in_range(n_devices, "n_devices", 1, 1_000_000)
+    variation = ProcessVariation() if variation is None else variation
+    rng = np.random.default_rng(rng)
+
+    samples = []
+    for _ in range(n_devices):
+        ecd = base.ecd * (1.0 + variation.sigma_ecd * rng.standard_normal())
+        ecd = max(ecd, 0.25 * base.ecd)
+        hk = base.hk * (1.0 + variation.sigma_hk * rng.standard_normal())
+        hk = max(hk, 0.25 * base.hk)
+        delta0 = base.delta0 * (
+            1.0 + variation.sigma_delta0 * rng.standard_normal())
+        if scale_delta0_with_area:
+            delta0 *= (ecd / base.ecd) ** 2
+        delta0 = max(delta0, 5.0)
+        samples.append(replace(base, ecd=ecd, hk=hk, delta0=delta0))
+    return samples

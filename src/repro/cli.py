@@ -1,0 +1,130 @@
+"""Command-line interface: the library's analyses without writing code.
+
+Subcommands::
+
+    python -m repro.cli reproduce [--out DIR]      all paper figures
+    python -m repro.cli psi --ecd-nm 35 [...]      coupling-factor sweep
+    python -m repro.cli design --ecds-nm 25,35,45  design-space table
+    python -m repro.cli wer --vp 0.95 [...]        write-error pulse sizing
+    python -m repro.cli model-card --out DIR       compact-model export
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .apps import DESIGN_HEADERS, DesignSpaceExplorer, WriteErrorModel
+from .core.psi import psi_threshold_pitch, psi_vs_pitch
+from .device import MTJDevice, PAPER_EVAL_DEVICE
+from .device.compact import export_model_card
+from .reporting import ascii_plot, format_table
+from .units import nm_to_m, oe_to_am
+
+
+def _cmd_reproduce(args):
+    from .experiments.runner import main as runner_main
+    return runner_main([args.out] if args.out else [])
+
+
+def _cmd_psi(args):
+    ecd = nm_to_m(args.ecd_nm)
+    hc = oe_to_am(args.hc_oe)
+    pitches = np.linspace(args.ratio_min * ecd, nm_to_m(args.pitch_max_nm),
+                          args.points)
+    psi = psi_vs_pitch(ecd, pitches, hc)
+    print(ascii_plot({"Psi": (pitches * 1e9, psi * 100.0)},
+                     title=f"Psi vs pitch (eCD={args.ecd_nm:g} nm)",
+                     x_label="pitch (nm)", y_label="Psi (%)"))
+    threshold = psi_threshold_pitch(ecd, hc, psi_target=args.target)
+    print(f"\nPsi = {args.target * 100:g}% at pitch = "
+          f"{threshold * 1e9:.1f} nm")
+    return 0
+
+
+def _cmd_design(args):
+    ecds = [nm_to_m(float(v)) for v in args.ecds_nm.split(",")]
+    ratios = [float(v) for v in args.ratios.split(",")]
+    explorer = DesignSpaceExplorer(PAPER_EVAL_DEVICE,
+                                   probe_voltage=args.vp)
+    points = explorer.sweep(ecds, ratios)
+    print(format_table(DESIGN_HEADERS, [p.row() for p in points],
+                       float_format=".3g"))
+    return 0
+
+
+def _cmd_wer(args):
+    device = MTJDevice(PAPER_EVAL_DEVICE)
+    model = WriteErrorModel(device)
+    rows = []
+    for ratio in (3.0, 2.0, 1.5):
+        pitch = ratio * device.params.ecd
+        pulse = model.worst_case_pulse(args.target, args.vp, pitch)
+        penalty = model.pattern_pulse_penalty(args.target, args.vp, pitch)
+        rows.append((f"{ratio:g}x", pulse * 1e9, penalty * 1e9))
+    print(format_table(
+        ["pitch", f"pulse for WER={args.target:g} (ns)",
+         "pattern penalty (ns)"], rows, float_format=".3g"))
+    return 0
+
+
+def _cmd_model_card(args):
+    device = MTJDevice(PAPER_EVAL_DEVICE)
+    paths = export_model_card(device, args.out, name=args.name)
+    for path in paths:
+        print(f"wrote {path}")
+    return 0
+
+
+def build_parser():
+    """The argparse parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="STT-MRAM magnetic coupling analyses (DATE 2020 "
+                    "reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("reproduce", help="regenerate all paper figures")
+    p.add_argument("--out", default=None,
+                   help="directory for CSV/JSON exports")
+    p.set_defaults(func=_cmd_reproduce)
+
+    p = sub.add_parser("psi", help="coupling factor vs pitch")
+    p.add_argument("--ecd-nm", type=float, default=35.0)
+    p.add_argument("--hc-oe", type=float, default=2200.0)
+    p.add_argument("--ratio-min", type=float, default=1.5)
+    p.add_argument("--pitch-max-nm", type=float, default=200.0)
+    p.add_argument("--points", type=int, default=40)
+    p.add_argument("--target", type=float, default=0.02)
+    p.set_defaults(func=_cmd_psi)
+
+    p = sub.add_parser("design", help="design-space sweep table")
+    p.add_argument("--ecds-nm", default="25,35,45")
+    p.add_argument("--ratios", default="1.5,2.0,3.0")
+    p.add_argument("--vp", type=float, default=0.85)
+    p.set_defaults(func=_cmd_design)
+
+    p = sub.add_parser("wer", help="write-error pulse sizing")
+    p.add_argument("--vp", type=float, default=0.95)
+    p.add_argument("--target", type=float, default=1e-6)
+    p.set_defaults(func=_cmd_wer)
+
+    p = sub.add_parser("model-card", help="export a compact model")
+    p.add_argument("--out", default="model_card")
+    p.add_argument("--name", default="mtj_cell")
+    p.set_defaults(func=_cmd_model_card)
+
+    return parser
+
+
+def main(argv=None):
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,43 @@
+"""Physical constants used throughout the library.
+
+All values are CODATA-2018 SI values. The library computes internally in SI
+units; see :mod:`repro.units` for conversions to the practical CGS units
+(Oe, emu/cc) used by the paper.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Vacuum permeability ``mu_0`` [T*m/A].
+MU0 = 4.0e-7 * math.pi
+
+#: Elementary charge ``e`` [C].
+ELEMENTARY_CHARGE = 1.602176634e-19
+
+#: Reduced Planck constant ``hbar`` [J*s].
+HBAR = 1.054571817e-34
+
+#: Boltzmann constant ``k_B`` [J/K].
+BOLTZMANN = 1.380649e-23
+
+#: Bohr magneton ``mu_B`` [J/T].
+BOHR_MAGNETON = 9.2740100783e-24
+
+#: Gyromagnetic ratio of the electron ``gamma`` [rad/(s*T)].
+GYROMAGNETIC_RATIO = 1.76085963023e11
+
+#: Euler--Mascheroni constant ``C`` (appears in Sun's switching-time model).
+EULER_GAMMA = 0.5772156649015329
+
+#: Default thermal-activation attempt frequency ``f_0`` [Hz].
+#:
+#: The conventional value for perpendicular MTJ free layers; enters the
+#: Neel--Arrhenius retention model and the swept-field switching model.
+ATTEMPT_FREQUENCY = 1.0e9
+
+#: Absolute zero offset: T[K] = T[degC] + ZERO_CELSIUS.
+ZERO_CELSIUS = 273.15
+
+#: Room temperature used by the paper for device parameters [K] (25 degC).
+ROOM_TEMPERATURE = 298.15

@@ -1,0 +1,31 @@
+"""The paper's primary contribution: the magnetic coupling model.
+
+* :mod:`repro.core.intra` — intra-cell stray field vs device size and its
+  spatial profile (Sections III / IV-A),
+* :mod:`repro.core.calibration` — fitting the effective layer moments to
+  measured offset-field data (the Fig. 2b calibration),
+* :mod:`repro.core.inter` — the 3x3 inter-cell extrapolation
+  (Section IV-B),
+* :mod:`repro.core.psi` — the coupling factor Psi and density threshold,
+* :mod:`repro.core.impact` — the performance impact analyses behind
+  Figs. 4c, 5 and 6.
+"""
+
+from .calibration import CalibrationResult, fit_effective_moments
+from .impact import IcAnalysis, RetentionAnalysis, SwitchingTimeAnalysis
+from .inter import InterCellModel
+from .intra import IntraCellModel
+from .psi import coupling_factor, psi_threshold_pitch, psi_vs_pitch
+
+__all__ = [
+    "CalibrationResult",
+    "IcAnalysis",
+    "InterCellModel",
+    "IntraCellModel",
+    "RetentionAnalysis",
+    "SwitchingTimeAnalysis",
+    "coupling_factor",
+    "fit_effective_moments",
+    "psi_threshold_pitch",
+    "psi_vs_pitch",
+]

@@ -1,0 +1,174 @@
+"""Performance-impact analyses (paper Section V).
+
+Three analyses, one per paper figure family:
+
+* :class:`IcAnalysis` — critical switching current vs pitch under the four
+  stray-field cases (Fig. 4c),
+* :class:`SwitchingTimeAnalysis` — Sun-model switching time vs write
+  voltage at several pitches (Fig. 5),
+* :class:`RetentionAnalysis` — thermal stability factor vs temperature and
+  the worst-case retention corner (Fig. 6).
+
+Each analysis names its stray-field cases the way the paper's legends do:
+
+=============  ====================================================
+``"ideal"``     no stray field (isolated, hypothetical)
+``"intra"``     the device's own RL+HL field only
+``"np0"``       intra + inter with all neighbors in P   (NP8 = 0)
+``"np255"``     intra + inter with all neighbors in AP  (NP8 = 255)
+=============  ====================================================
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..arrays.coupling import InterCellCoupling
+from ..arrays.pattern import ALL_AP, ALL_P
+from ..device.mtj import MTJDevice, MTJState
+from ..errors import ParameterError
+from ..validation import require_positive
+
+#: The stray-field case names, in presentation order.
+CASES = ("ideal", "intra", "np0", "np255")
+
+
+class _ImpactBase:
+    """Shared stray-field bookkeeping of the impact analyses."""
+
+    def __init__(self, device):
+        if not isinstance(device, MTJDevice):
+            raise ParameterError(
+                f"device must be an MTJDevice, got {type(device)!r}")
+        self.device = device
+        self._intra = device.intra_stray_field()
+
+    def _coupling(self, pitch):
+        return InterCellCoupling(self.device.stack, pitch)
+
+    def stray_field(self, case, pitch=None):
+        """Total ``Hz_stray`` [A/m] for a named ``case``.
+
+        ``pitch`` is required for the pattern cases ("np0"/"np255").
+        """
+        if case == "ideal":
+            return 0.0
+        if case == "intra":
+            return self._intra
+        if case in ("np0", "np255"):
+            if pitch is None:
+                raise ParameterError(
+                    f"case {case!r} needs a pitch")
+            pattern = ALL_P if case == "np0" else ALL_AP
+            return self._intra + self._coupling(pitch).hz_inter_fast(
+                pattern)
+        raise ParameterError(
+            f"unknown case {case!r}; expected one of {CASES}")
+
+
+class IcAnalysis(_ImpactBase):
+    """Critical current vs pitch under stray fields (paper Fig. 4c)."""
+
+    def ic_vs_pitch(self, pitches, direction, case):
+        """``Ic`` [A] at each pitch for one case and direction.
+
+        The "ideal" and "intra" cases are pitch independent; they are
+        broadcast to the pitch grid for uniform plotting.
+        """
+        pitches = np.asarray(pitches, dtype=float)
+        values = np.empty_like(pitches)
+        for i, pitch in enumerate(pitches):
+            h = self.stray_field(case, pitch)
+            values[i] = self.device.ic(direction, h)
+        return values
+
+    def table(self, pitches):
+        """``{(direction, case): Ic array [A]}`` over ``pitches``."""
+        out = {}
+        for direction in ("AP->P", "P->AP"):
+            for case in CASES:
+                out[(direction, case)] = self.ic_vs_pitch(
+                    pitches, direction, case)
+        return out
+
+    def anchors(self):
+        """The three quoted Section V-A values [A]: ideal/AP->P/P->AP."""
+        return {
+            "ic0": self.device.ic0(),
+            "ic_ap_p_intra": self.device.ic("AP->P", self._intra),
+            "ic_p_ap_intra": self.device.ic("P->AP", self._intra),
+        }
+
+
+class SwitchingTimeAnalysis(_ImpactBase):
+    """Switching time vs write voltage (paper Fig. 5).
+
+    The paper shows the AP->P direction (the slow, worst-case one for this
+    stack); the initial state is AP accordingly, but P->AP is supported.
+    """
+
+    def tw_vs_voltage(self, voltages, case, pitch=None,
+                      initial_state=MTJState.AP):
+        """``tw`` [s] at each voltage for one stray-field case."""
+        voltages = np.asarray(voltages, dtype=float)
+        h = self.stray_field(case, pitch)
+        return np.array([
+            self.device.switching_time(v, h, initial_state=initial_state)
+            for v in voltages])
+
+    def family(self, voltages, pitch):
+        """``{case: tw array [s]}`` for all four cases at one pitch."""
+        return {case: self.tw_vs_voltage(voltages, case, pitch)
+                for case in CASES}
+
+    def pattern_penalty(self, voltage, pitch):
+        """``tw(NP8=0) - tw(NP8=255)`` [s] at one operating point.
+
+        The paper's headline number: ~4 ns at 0.72 V and pitch=1.5 x eCD.
+        Positive because NP8=0 makes the AP->P write slowest.
+        """
+        require_positive(voltage, "voltage")
+        tw_np0 = self.tw_vs_voltage(np.array([voltage]), "np0", pitch)[0]
+        tw_np255 = self.tw_vs_voltage(np.array([voltage]), "np255",
+                                      pitch)[0]
+        return tw_np0 - tw_np255
+
+
+class RetentionAnalysis(_ImpactBase):
+    """Thermal stability vs temperature (paper Fig. 6)."""
+
+    def delta_vs_temperature(self, temperatures, state, case, pitch=None):
+        """``Delta`` at each temperature [K] for one state and case."""
+        temperatures = np.asarray(temperatures, dtype=float)
+        h = self.stray_field(case, pitch)
+        return np.array([
+            self.device.delta(state, h, temperature=t)
+            for t in temperatures])
+
+    def delta0_vs_temperature(self, temperatures):
+        """The intrinsic ``Delta0(T)`` reference curve."""
+        temperatures = np.asarray(temperatures, dtype=float)
+        return np.array([
+            self.device.thermal_model.delta0_at(self.device.params.delta0,
+                                                t)
+            for t in temperatures])
+
+    def family(self, temperatures, pitch):
+        """Fig. 6a: ``{(state, case): Delta array}`` plus ``delta0``."""
+        out = {"delta0": self.delta0_vs_temperature(temperatures)}
+        for state in (MTJState.P, MTJState.AP):
+            for case in ("intra", "np0", "np255"):
+                out[(state.value, case)] = self.delta_vs_temperature(
+                    temperatures, state, case, pitch)
+        return out
+
+    def worst_case_vs_temperature(self, temperatures, pitch):
+        """Fig. 6b: the worst corner ``Delta_P(NP8=0)`` over temperature."""
+        return self.delta_vs_temperature(temperatures, MTJState.P, "np0",
+                                         pitch)
+
+    def retention_margin(self, temperature, pitch, target_delta=40.0):
+        """Worst-case ``Delta`` minus a target at one temperature [K]."""
+        worst = self.delta_vs_temperature(
+            np.array([temperature]), MTJState.P, "np0", pitch)[0]
+        return worst - target_delta

@@ -1,0 +1,97 @@
+"""The inter-cell magnetic coupling factor Psi.
+
+The paper defines ``Psi = max-variation(Hz_s_inter) / Hc`` as the indicator
+of inter-cell coupling strength, and identifies ``Psi ~ 2 %`` as the
+operating point that maximizes density with negligible performance impact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..arrays.coupling import InterCellCoupling
+from ..errors import ParameterError
+from ..stack import build_reference_stack
+from ..validation import require_positive
+
+
+def coupling_factor(stack, pitch, hc):
+    """``Psi`` (dimensionless) for a stack/pitch/coercivity combination.
+
+    Parameters
+    ----------
+    stack:
+        The cell's :class:`~repro.stack.MTJStack`.
+    pitch:
+        Array pitch [m].
+    hc:
+        FL coercivity [A/m] (the paper uses the measured 2.2 kOe).
+    """
+    require_positive(hc, "hc")
+    coupling = InterCellCoupling(stack, pitch)
+    return coupling.max_variation() / hc
+
+
+def psi_vs_pitch(ecd, pitches, hc, stack_builder=None):
+    """``Psi`` for each pitch in ``pitches`` [m] (paper Fig. 4b).
+
+    Returns a numpy array of the same length as ``pitches``.
+    """
+    require_positive(ecd, "ecd")
+    builder = (build_reference_stack if stack_builder is None
+               else stack_builder)
+    stack = builder(ecd)
+    pitches = np.asarray(pitches, dtype=float)
+    if pitches.ndim != 1 or pitches.size == 0:
+        raise ParameterError("pitches must be a non-empty 1-D array")
+    return np.array(
+        [coupling_factor(stack, pitch, hc) for pitch in pitches])
+
+
+def psi_threshold_pitch(ecd, hc, psi_target=0.02, stack_builder=None,
+                        pitch_bounds=None, tolerance=1e-11):
+    """Smallest pitch [m] with ``Psi <= psi_target`` (bisection).
+
+    ``Psi(pitch)`` decreases monotonically with pitch (fields fall off with
+    distance), so the threshold is unique. The default target is the
+    paper's 2 % density/reliability sweet spot.
+
+    Parameters
+    ----------
+    ecd:
+        Device size [m].
+    hc:
+        Coercivity [A/m].
+    psi_target:
+        The Psi level to solve for.
+    stack_builder:
+        Optional stack family override.
+    pitch_bounds:
+        (lo, hi) search bracket [m]; defaults to (1.5 * ecd, 400 nm).
+    tolerance:
+        Absolute pitch tolerance [m] of the bisection.
+    """
+    require_positive(psi_target, "psi_target")
+    builder = (build_reference_stack if stack_builder is None
+               else stack_builder)
+    stack = builder(ecd)
+    lo, hi = pitch_bounds if pitch_bounds else (1.5 * ecd, 400e-9)
+    if lo >= hi:
+        raise ParameterError(f"invalid pitch bounds ({lo}, {hi})")
+
+    psi_lo = coupling_factor(stack, lo, hc)
+    psi_hi = coupling_factor(stack, hi, hc)
+    if psi_lo <= psi_target:
+        return lo
+    if psi_hi > psi_target:
+        raise ParameterError(
+            f"Psi={psi_hi:.4f} still above target {psi_target} at the "
+            f"upper bound {hi*1e9:.0f} nm; widen pitch_bounds")
+
+    while hi - lo > tolerance:
+        mid = 0.5 * (lo + hi)
+        if coupling_factor(stack, mid, hc) > psi_target:
+            lo = mid
+        else:
+            hi = mid
+    return hi

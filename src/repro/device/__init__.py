@@ -1,0 +1,75 @@
+"""MTJ device models.
+
+Implements the electrical and magnetic behaviour of one MTJ device:
+
+* :mod:`repro.device.resistance` — TMR/RA resistance with voltage roll-off
+  and the eCD extraction used in the paper's Section III,
+* :mod:`repro.device.energy` — energy barrier and thermal stability factor
+  (paper Eq. 5),
+* :mod:`repro.device.thermal` — temperature scaling of Ms/Hk/Delta,
+* :mod:`repro.device.switching` — critical current (Eq. 2) and Sun's
+  average switching time (Eq. 3-4),
+* :mod:`repro.device.retention` — Neel-Arrhenius retention statistics,
+* :mod:`repro.device.hysteresis` — stochastic swept-field R-H loops,
+* :mod:`repro.device.mtj` — the :class:`MTJDevice` facade tying it together.
+"""
+
+from .access import AccessTransistor, WritePath
+from .compact import export_model_card, lookup_tables, spice_subcircuit
+from .energy import delta_factor, delta_with_stray, energy_barrier
+from .hysteresis import HysteresisLoop, RHLoopSimulator, SweepProtocol
+from .mtj import DeviceParameters, MTJDevice, MTJState, PAPER_EVAL_DEVICE
+from .pulse import (
+    TrapezoidalPulse,
+    equivalent_rectangular_width,
+    rectangular,
+    shaped_pulse_wer,
+)
+from .resistance import ResistanceModel, ecd_from_rp, rp_from_ecd
+from .retention import (
+    fit_rate,
+    retention_failure_probability,
+    retention_time,
+)
+from .switching import (
+    SunModel,
+    calibrate_eta,
+    calibrate_polarization,
+    critical_current,
+    intrinsic_critical_current,
+)
+from .thermal import ThermalModel
+
+__all__ = [
+    "AccessTransistor",
+    "DeviceParameters",
+    "WritePath",
+    "HysteresisLoop",
+    "MTJDevice",
+    "MTJState",
+    "PAPER_EVAL_DEVICE",
+    "ResistanceModel",
+    "RHLoopSimulator",
+    "SunModel",
+    "SweepProtocol",
+    "ThermalModel",
+    "TrapezoidalPulse",
+    "equivalent_rectangular_width",
+    "rectangular",
+    "shaped_pulse_wer",
+    "calibrate_eta",
+    "calibrate_polarization",
+    "critical_current",
+    "delta_factor",
+    "delta_with_stray",
+    "ecd_from_rp",
+    "energy_barrier",
+    "export_model_card",
+    "lookup_tables",
+    "spice_subcircuit",
+    "fit_rate",
+    "intrinsic_critical_current",
+    "retention_failure_probability",
+    "retention_time",
+    "rp_from_ecd",
+]

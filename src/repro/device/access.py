@@ -1,0 +1,127 @@
+"""1T-1R write-path model: the access device in series with the MTJ.
+
+The paper's test structures are 0T1R (direct probing), but its
+conclusions target product arrays, which are 1T-1R: a select transistor
+in series with the MTJ divides the write voltage and — because the MTJ
+resistance is state- and bias-dependent — does so asymmetrically between
+the two write directions. This module models that divider with a simple
+linear on-resistance access device and solves the nonlinear operating
+point by fixed-point iteration, so switching-time analyses can be run
+against the *cell terminal* voltage instead of the MTJ voltage.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ParameterError, SimulationError
+from ..validation import require_positive
+
+
+@dataclass(frozen=True)
+class AccessTransistor:
+    """A select transistor reduced to a linear on-resistance.
+
+    Parameters
+    ----------
+    r_on:
+        On-resistance [Ohm] in the write-selected state.
+    """
+
+    r_on: float
+
+    def __post_init__(self):
+        require_positive(self.r_on, "r_on")
+
+
+class WritePath:
+    """Series connection of an access device and one MTJ.
+
+    Parameters
+    ----------
+    device:
+        :class:`~repro.device.mtj.MTJDevice`.
+    access:
+        :class:`AccessTransistor`.
+    """
+
+    def __init__(self, device, access):
+        from .mtj import MTJDevice
+        if not isinstance(device, MTJDevice):
+            raise ParameterError(
+                f"device must be an MTJDevice, got {type(device)!r}")
+        if not isinstance(access, AccessTransistor):
+            raise ParameterError(
+                f"access must be an AccessTransistor, got {type(access)!r}")
+        self.device = device
+        self.access = access
+
+    def mtj_voltage(self, v_cell, initial_state, tolerance=1e-9,
+                    max_iterations=200):
+        """MTJ terminal voltage [V] for a cell write voltage ``v_cell``.
+
+        Solves ``v_mtj = v_cell * R_mtj(v_mtj) / (R_mtj(v_mtj) + r_on)``
+        by damped fixed-point iteration. The AP branch's bias-dependent
+        resistance makes this nonlinear; convergence is monotone for the
+        physical parameter range.
+        """
+        require_positive(v_cell, "v_cell")
+        resistance = self.device.params.resistance
+        ecd = self.device.params.ecd
+        state = initial_state.value if hasattr(initial_state, "value") \
+            else str(initial_state)
+
+        v_mtj = v_cell * 0.7  # reasonable starting split
+        for _ in range(max_iterations):
+            r_mtj = resistance.resistance(ecd, state, v_mtj)
+            v_next = v_cell * r_mtj / (r_mtj + self.access.r_on)
+            if abs(v_next - v_mtj) < tolerance:
+                return v_next
+            v_mtj = 0.5 * (v_mtj + v_next)
+        raise SimulationError(
+            f"write-path operating point did not converge at "
+            f"v_cell={v_cell} V")
+
+    def write_current(self, v_cell, initial_state):
+        """Write current [A] through the cell at ``v_cell``."""
+        v_mtj = self.mtj_voltage(v_cell, initial_state)
+        resistance = self.device.params.resistance
+        state = initial_state.value if hasattr(initial_state, "value") \
+            else str(initial_state)
+        return v_mtj / resistance.resistance(
+            self.device.params.ecd, state, v_mtj)
+
+    def switching_time(self, v_cell, hz_stray=0.0, initial_state=None):
+        """Switching time [s] driven from the cell terminal.
+
+        Same as :meth:`MTJDevice.switching_time` but with the access
+        device eating part of the drive — the realistic array situation.
+        """
+        from .mtj import MTJState
+        state = MTJState.AP if initial_state is None else initial_state
+        v_mtj = self.mtj_voltage(v_cell, state)
+        return self.device.switching_time(v_mtj, hz_stray,
+                                          initial_state=state)
+
+    def required_cell_voltage(self, v_mtj_target, initial_state,
+                              v_max=5.0):
+        """Cell voltage [V] that puts ``v_mtj_target`` across the MTJ.
+
+        Bisection on the monotone map v_cell -> v_mtj.
+        """
+        require_positive(v_mtj_target, "v_mtj_target")
+        lo, hi = v_mtj_target, v_max
+        if self.mtj_voltage(hi, initial_state) < v_mtj_target:
+            raise SimulationError(
+                f"even v_cell={v_max} V cannot reach "
+                f"v_mtj={v_mtj_target} V through the access device")
+        for _ in range(100):
+            mid = 0.5 * (lo + hi)
+            if self.mtj_voltage(mid, initial_state) < v_mtj_target:
+                lo = mid
+            else:
+                hi = mid
+            if hi - lo < 1e-9:
+                break
+        return hi

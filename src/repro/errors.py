@@ -1,0 +1,31 @@
+"""Exception hierarchy for the repro library.
+
+A small, explicit hierarchy so callers can catch library errors without
+catching unrelated ``ValueError``/``RuntimeError`` from numpy or scipy.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ParameterError(ReproError, ValueError):
+    """A physical or geometric parameter is out of its valid domain."""
+
+
+class GeometryError(ParameterError):
+    """Stack or array geometry is inconsistent (overlaps, negative sizes)."""
+
+
+class CalibrationError(ReproError, RuntimeError):
+    """A calibration / curve fit failed to converge or is ill-posed."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """A simulation failed (non-finite state, no switching event found)."""
+
+
+class MeasurementError(ReproError, RuntimeError):
+    """An emulated measurement could not extract the requested quantity."""

@@ -1,0 +1,31 @@
+"""Experiment generators: one module per paper figure.
+
+Each ``figXX`` module exposes a ``run(...)`` function returning an
+:class:`~repro.experiments.base.ExperimentResult` with the figure's series,
+a table view, and a paper-vs-measured comparison. ``runner.run_all`` drives
+everything and ``runner.render`` pretty-prints a result.
+"""
+
+from .base import Comparison, ExperimentResult
+from .data import (
+    EVAL_ECD,
+    MEASURED_ECDS,
+    WAFER_RESISTANCE,
+    eval_device,
+    synthetic_intra_dataset,
+    wafer_device_parameters,
+)
+from .runner import run_all, render
+
+__all__ = [
+    "Comparison",
+    "EVAL_ECD",
+    "ExperimentResult",
+    "MEASURED_ECDS",
+    "WAFER_RESISTANCE",
+    "eval_device",
+    "render",
+    "run_all",
+    "synthetic_intra_dataset",
+    "wafer_device_parameters",
+]

@@ -1,0 +1,69 @@
+"""Shared experiment-result structure."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One paper-vs-measured line of an experiment.
+
+    ``paper`` may be None for qualitative claims; ``passed`` records
+    whether the reproduction criterion held.
+    """
+
+    metric: str
+    paper: Optional[float]
+    measured: float
+    passed: bool
+    note: str = ""
+
+    def row(self):
+        """Tuple view for tables."""
+        paper = "-" if self.paper is None else self.paper
+        return (self.metric, paper, self.measured,
+                "ok" if self.passed else "DEVIATES", self.note)
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one figure reproduction produced.
+
+    Attributes
+    ----------
+    experiment_id:
+        Figure identifier, e.g. ``"fig4a"``.
+    title:
+        Human-readable description.
+    headers, rows:
+        The main data table of the figure.
+    series:
+        ``{name: (x, y)}`` arrays for plotting.
+    comparisons:
+        Paper-vs-measured records.
+    extras:
+        Free-form metadata (calibration values etc.).
+    """
+
+    experiment_id: str
+    title: str
+    headers: List[str]
+    rows: List[Tuple]
+    series: Dict[str, Tuple[np.ndarray, np.ndarray]] = field(
+        default_factory=dict)
+    comparisons: List[Comparison] = field(default_factory=list)
+    extras: Dict = field(default_factory=dict)
+
+    @property
+    def all_passed(self):
+        """True if every comparison criterion held."""
+        return all(c.passed for c in self.comparisons)
+
+    def comparison_table(self):
+        """(headers, rows) for the paper-vs-measured table."""
+        headers = ["metric", "paper", "measured", "status", "note"]
+        return headers, [c.row() for c in self.comparisons]

@@ -1,0 +1,85 @@
+"""Extension experiment: write-error-rate cost of inter-cell coupling.
+
+Converts the paper's Fig. 5 message into the unit a controller designer
+budgets: the write pulse width needed to reach a target WER, for the
+worst-case (NP8 = 0) and best-case (NP8 = 255) neighborhoods across
+pitches. The pattern-induced pulse penalty is the engineering cost of
+density.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..apps.write_error import WriteErrorModel
+from ..arrays.pattern import ALL_AP, ALL_P
+from ..arrays.victim import VictimAnalysis
+from .base import Comparison, ExperimentResult
+from .data import eval_device
+
+#: Pitch multiples matching the paper's Fig. 5 panels.
+PITCH_RATIOS = (3.0, 2.0, 1.5)
+
+
+def run(target_wer=1e-6, vp=0.95):
+    """Pulse sizing vs pitch for the two extreme neighborhoods."""
+    device = eval_device()
+    model = WriteErrorModel(device)
+
+    rows = []
+    penalties = {}
+    for ratio in PITCH_RATIOS:
+        pitch = ratio * device.params.ecd
+        victim = VictimAnalysis(device, pitch)
+        t_worst = model.pulse_for_wer(target_wer, vp,
+                                      victim.hz_total(ALL_P))
+        t_best = model.pulse_for_wer(target_wer, vp,
+                                     victim.hz_total(ALL_AP))
+        penalties[ratio] = t_worst - t_best
+        rows.append((f"{ratio:g}x", t_worst * 1e9, t_best * 1e9,
+                     (t_worst - t_best) * 1e9))
+
+    ordered = (penalties[1.5] > penalties[2.0] > penalties[3.0] > 0)
+    mean_check = abs(
+        model.mean_switching_time(vp, device.intra_stray_field())
+        - device.switching_time(vp, device.intra_stray_field()))
+
+    comparisons = [
+        Comparison(
+            metric="pulse penalty grows as pitch shrinks",
+            paper=1.0,
+            measured=float(ordered),
+            passed=ordered,
+            note="WER-space version of the Fig. 5 spread"),
+        Comparison(
+            metric="penalty at 1.5x eCD (ns)",
+            paper=None,
+            measured=penalties[1.5] * 1e9,
+            passed=0.2 < penalties[1.5] * 1e9 < 20.0,
+            note=f"target WER {target_wer:g} at {vp} V"),
+        Comparison(
+            metric="WER model mean == Sun tw (s)",
+            paper=0.0,
+            measured=mean_check,
+            passed=mean_check < 1e-15,
+            note="the angle-distribution model reduces to Eq. 3"),
+    ]
+
+    headers = ["pitch", "pulse NP8=0 (ns)", "pulse NP8=255 (ns)",
+               "penalty (ns)"]
+    ratios = np.array(PITCH_RATIOS)
+    series = {
+        "pulse penalty (ns)": (
+            ratios, np.array([penalties[r] * 1e9 for r in PITCH_RATIOS]))
+    }
+    return ExperimentResult(
+        experiment_id="ext_wer",
+        title=(f"Extension: WER-sized write pulse vs pitch "
+               f"(target {target_wer:g}, {vp} V)"),
+        headers=headers,
+        rows=rows,
+        series=series,
+        comparisons=comparisons,
+        extras={"penalties_ns": {r: p * 1e9
+                                 for r, p in penalties.items()}},
+    )

@@ -1,0 +1,87 @@
+"""Fig. 2b — size dependence of the intra-cell stray field.
+
+Reproduces the paper's calibration loop end to end:
+
+1. take the (synthetic) measured ``Hz_s_intra`` vs eCD dataset,
+2. fit the effective RL/HL moments of the bound-current model to it,
+3. evaluate the calibrated model on a dense size grid,
+4. compare measurement and simulation (the paper's "match silicon data").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.calibration import fit_effective_moments
+from ..core.intra import IntraCellModel
+from ..units import am_to_oe, m_to_nm, nm_to_m
+from .base import Comparison, ExperimentResult
+from .data import synthetic_intra_dataset
+
+
+def run(seed=2020, curve_points=33):
+    """Calibrate the intra-cell model and produce the Fig. 2b curves."""
+    dataset = synthetic_intra_dataset(seed=seed)
+    ecds, hz_mean, hz_std = dataset.as_arrays()
+
+    calibration = fit_effective_moments(ecds, hz_mean)
+    model = IntraCellModel(stack_builder=calibration.stack_builder)
+
+    curve_ecds = np.linspace(nm_to_m(20.0), nm_to_m(180.0), curve_points)
+    curve_hz = model.hz_vs_ecd(curve_ecds)
+    fit_at_measured = model.hz_vs_ecd(ecds)
+
+    residual_oe = am_to_oe(fit_at_measured - hz_mean)
+    rmse_oe = float(np.sqrt(np.mean(residual_oe ** 2)))
+    hz35_oe = am_to_oe(model.hz_at_center(nm_to_m(35.0)))
+
+    # |Hz| must grow as eCD shrinks over the *measured* range (>= 35 nm);
+    # below ~30 nm the calibrated two-loop model saturates (DESIGN.md).
+    measured_range = curve_ecds >= nm_to_m(34.0)
+    monotonic = bool(np.all(
+        np.diff(am_to_oe(curve_hz[measured_range])) > -1e-9))
+    sizes_ok = bool(np.all(np.diff(np.abs(am_to_oe(fit_at_measured)))
+                           < 0.0))
+
+    comparisons = [
+        Comparison(
+            metric="model-vs-measured RMSE (Oe)",
+            paper=None,
+            measured=rmse_oe,
+            passed=rmse_oe < 20.0,
+            note="paper: simulation matches silicon data"),
+        Comparison(
+            metric="Hz_s_intra at eCD=35 nm (Oe)",
+            paper=-325.0,
+            measured=hz35_oe,
+            passed=abs(hz35_oe - (-325.0)) < 40.0,
+            note="value implied by the 7% Ic shift of Section V-A"),
+        Comparison(
+            metric="|Hz| grows monotonically as eCD shrinks (>=35 nm)",
+            paper=1.0,
+            measured=float(sizes_ok and monotonic),
+            passed=sizes_ok and monotonic,
+            note="trend grows steeply below eCD=100 nm"),
+    ]
+
+    headers = ["eCD (nm)", "measured Hz (Oe)", "std (Oe)",
+               "model Hz (Oe)"]
+    rows = [
+        (m_to_nm(ecds[i]), am_to_oe(hz_mean[i]), am_to_oe(hz_std[i]),
+         am_to_oe(fit_at_measured[i]))
+        for i in range(ecds.size)
+    ]
+    series = {
+        "measured (mean)": (m_to_nm(ecds), am_to_oe(hz_mean)),
+        "simulation": (m_to_nm(curve_ecds), am_to_oe(curve_hz)),
+    }
+    return ExperimentResult(
+        experiment_id="fig2b",
+        title="Hz_s_intra vs eCD: measurement vs calibrated model",
+        headers=headers,
+        rows=rows,
+        series=series,
+        comparisons=comparisons,
+        extras={"calibration": calibration.describe(),
+                "dataset": dataset},
+    )

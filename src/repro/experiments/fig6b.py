@@ -1,0 +1,68 @@
+"""Fig. 6b — worst-case Delta_P(NP8=0) vs temperature at three pitches.
+
+The retention worst corner (victim P, all neighbors P) compared across
+pitch = 3x / 2x / 1.5x eCD: shrinking the pitch degrades the worst-case
+``Delta`` only marginally — the paper's closing retention observation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.impact import RetentionAnalysis
+from ..units import celsius_to_kelvin
+from .base import Comparison, ExperimentResult
+from .data import eval_device
+
+#: Pitch multiples compared in the panel.
+PITCH_RATIOS = (3.0, 2.0, 1.5)
+
+
+def run(t_min_c=0.0, t_max_c=150.0, n_temps=16):
+    """Worst-case Delta vs temperature for the three pitches."""
+    device = eval_device()
+    analysis = RetentionAnalysis(device)
+    temps_c = np.linspace(t_min_c, t_max_c, n_temps)
+    temps_k = celsius_to_kelvin(temps_c)
+
+    curves = {}
+    for ratio in PITCH_RATIOS:
+        pitch = ratio * device.params.ecd
+        curves[ratio] = analysis.worst_case_vs_temperature(temps_k, pitch)
+
+    room_idx = int(np.argmin(np.abs(temps_c - 25.0)))
+    ordering = bool(np.all(curves[1.5] <= curves[2.0])
+                    and np.all(curves[2.0] <= curves[3.0]))
+    degradation = float(curves[3.0][room_idx] - curves[1.5][room_idx])
+    relative = degradation / float(curves[3.0][room_idx])
+
+    comparisons = [
+        Comparison("worst-case Delta ordering 1.5x <= 2x <= 3x", 1.0,
+                   float(ordering), ordering,
+                   "denser arrays degrade retention"),
+        Comparison("1.5x vs 3x degradation at 25 C (Delta units)", None,
+                   degradation, 0.0 <= degradation < 5.0,
+                   "paper: marginal degradation"),
+        Comparison("relative degradation at 25 C", None, relative,
+                   relative < 0.10,
+                   "marginal (<10%)"),
+    ]
+
+    headers = ["T (C)"] + [f"Delta_P(NP0) {r}x eCD" for r in PITCH_RATIOS]
+    rows = []
+    for i, tc in enumerate(temps_c):
+        rows.append((float(tc),) + tuple(
+            float(curves[r][i]) for r in PITCH_RATIOS))
+
+    series = {
+        f"pitch={r}x eCD": (temps_c, curves[r]) for r in PITCH_RATIOS
+    }
+    return ExperimentResult(
+        experiment_id="fig6b",
+        title="Worst-case Delta_P(NP8=0) vs temperature at three pitches",
+        headers=headers,
+        rows=rows,
+        series=series,
+        comparisons=comparisons,
+        extras={"degradation_at_25c": degradation},
+    )

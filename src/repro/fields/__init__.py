@@ -1,0 +1,40 @@
+"""Magnetostatic field solvers.
+
+This subpackage is the magnetostatics substrate of the library. It models
+uniformly magnetized cylindrical layers as bound-current loops (the paper's
+Section IV-A) and provides three field evaluators of increasing speed:
+
+* :mod:`repro.fields.biot_savart` — the paper's discrete segmented-loop
+  Biot-Savart summation (reference implementation),
+* :mod:`repro.fields.loop_analytic` — the exact circular-loop field via
+  complete elliptic integrals (fast, used by default),
+* :mod:`repro.fields.dipole` — the far-field point-dipole limit (used for
+  cross-checks and fast array-scale estimates).
+
+:mod:`repro.fields.bound_current` reduces stack layers to loop sources and
+:mod:`repro.fields.superposition` evaluates fields of many sources at many
+points.
+"""
+
+from .biot_savart import loop_field_biot_savart, segment_loop
+from .bound_current import bound_current, layer_to_loops
+from .dipole import dipole_field, loop_as_dipole
+from .loop_analytic import loop_field_analytic, loop_field_on_axis
+from .sampling import disk_average, grid3d, radial_line
+from .superposition import CurrentLoop, LoopCollection
+
+__all__ = [
+    "CurrentLoop",
+    "LoopCollection",
+    "bound_current",
+    "dipole_field",
+    "disk_average",
+    "grid3d",
+    "layer_to_loops",
+    "loop_as_dipole",
+    "loop_field_analytic",
+    "loop_field_biot_savart",
+    "loop_field_on_axis",
+    "radial_line",
+    "segment_loop",
+]

@@ -1,0 +1,92 @@
+"""Discrete Biot-Savart summation over a segmented current loop.
+
+This is a direct implementation of the paper's Section IV-A: the loop is cut
+into ``N`` straight segments ``dl_k`` and the field at a point P is the sum
+of the elementary contributions::
+
+    dH_k = (I / 4 pi) * (dl_k x r_k) / |r_k|^3
+
+where ``r_k`` points from the segment midpoint to P. (The paper writes a
+``mu_0/4pi`` prefactor for H; in SI the H-field of a current distribution
+carries ``1/4pi``, which is what we use — the calibration absorbs any
+constant convention anyway, but this choice makes the discrete sum converge
+to the exact elliptic-integral solution of
+:mod:`repro.fields.loop_analytic`.)
+
+The discrete solver is the *reference* implementation used for validation;
+production code paths use the analytic solution, which this converges to as
+``N`` grows (second order in 1/N).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..validation import as_point_array, require_int_in_range, require_positive
+
+#: Default number of loop segments (relative error below 1e-6 off the wire).
+DEFAULT_SEGMENTS = 720
+
+
+def segment_loop(radius, n_segments=DEFAULT_SEGMENTS, center=(0.0, 0.0, 0.0)):
+    """Cut a circular z-normal loop into straight segments.
+
+    Returns
+    -------
+    (midpoints, dl):
+        ``midpoints`` — (N, 3) segment midpoints [m];
+        ``dl`` — (N, 3) segment vectors [m], oriented counter-clockwise when
+        viewed from +z (so positive current gives +z field at the center).
+    """
+    require_positive(radius, "radius")
+    n = require_int_in_range(n_segments, "n_segments", 3, 10_000_000)
+    center = np.asarray(center, dtype=float)
+    if center.shape != (3,):
+        raise ParameterError(f"center must have shape (3,), got {center.shape}")
+
+    theta = np.linspace(0.0, 2.0 * np.pi, n + 1)
+    ring = np.stack(
+        [radius * np.cos(theta), radius * np.sin(theta),
+         np.zeros_like(theta)], axis=1)
+    ring = ring + center
+    dl = ring[1:] - ring[:-1]
+    midpoints = 0.5 * (ring[1:] + ring[:-1])
+    return midpoints, dl
+
+
+def loop_field_biot_savart(current, radius, points,
+                           n_segments=DEFAULT_SEGMENTS,
+                           center=(0.0, 0.0, 0.0)):
+    """H-field [A/m] of a segmented circular loop at ``points``.
+
+    Parameters
+    ----------
+    current:
+        Loop current [A].
+    radius:
+        Loop radius [m].
+    points:
+        (N, 3) or (3,) Cartesian points [m].
+    n_segments:
+        Number of straight segments used to discretize the loop.
+    center:
+        Loop center [m]; the loop is always z-normal.
+
+    Returns
+    -------
+    numpy.ndarray
+        H vectors, (N, 3) (or (3,) for a single input point).
+    """
+    pts = as_point_array(points)
+    single = np.asarray(points).ndim == 1
+    midpoints, dl = segment_loop(radius, n_segments, center)
+
+    # r has shape (P, N, 3): from every segment midpoint to every point.
+    r = pts[:, np.newaxis, :] - midpoints[np.newaxis, :, :]
+    r_norm3 = np.power(np.einsum("pns,pns->pn", r, r), 1.5)
+    cross = np.cross(np.broadcast_to(dl, r.shape), r)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        contrib = cross / r_norm3[:, :, np.newaxis]
+    field = (current / (4.0 * np.pi)) * np.sum(contrib, axis=1)
+    return field[0] if single else field

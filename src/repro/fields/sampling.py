@@ -1,0 +1,112 @@
+"""Spatial sampling helpers for field evaluation.
+
+Generates the point sets the experiments need: radial scans across the free
+layer (paper Fig. 3d), 3-D grids around a device (Fig. 3c), and polar
+quadrature nodes for averaging a field over the free-layer disk.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..validation import require_int_in_range, require_positive
+
+
+def radial_line(radius, n_points=81, z=0.0, margin=1.0):
+    """Points along a diameter of the FL cross-section.
+
+    Parameters
+    ----------
+    radius:
+        Disk radius [m].
+    n_points:
+        Number of sample points (odd counts include the exact center).
+    z:
+        Plane height [m] (default: FL midplane z=0).
+    margin:
+        Extent as a fraction of the radius (1.0 = edge to edge).
+
+    Returns
+    -------
+    (positions, points):
+        ``positions`` — signed radial positions [m], shape (n,);
+        ``points`` — Cartesian sample points, shape (n, 3), along the x axis.
+    """
+    require_positive(radius, "radius")
+    require_positive(margin, "margin")
+    n = require_int_in_range(n_points, "n_points", 2, 1_000_000)
+    extent = margin * radius
+    xs = np.linspace(-extent, extent, n)
+    pts = np.stack([xs, np.zeros_like(xs), np.full_like(xs, float(z))],
+                   axis=1)
+    return xs, pts
+
+
+def grid3d(extent, n_per_axis=15, z_range=None):
+    """A Cartesian grid of points around the origin.
+
+    Parameters
+    ----------
+    extent:
+        Half-width of the x/y range [m].
+    n_per_axis:
+        Points per axis.
+    z_range:
+        Optional (z_min, z_max) [m]; defaults to (-extent, extent).
+
+    Returns
+    -------
+    points:
+        Array of shape (n^3, 3).
+    shape:
+        The grid shape tuple (n, n, n) for reshaping results.
+    """
+    require_positive(extent, "extent")
+    n = require_int_in_range(n_per_axis, "n_per_axis", 2, 512)
+    if z_range is None:
+        z_lo, z_hi = -extent, extent
+    else:
+        z_lo, z_hi = float(z_range[0]), float(z_range[1])
+    xs = np.linspace(-extent, extent, n)
+    ys = np.linspace(-extent, extent, n)
+    zs = np.linspace(z_lo, z_hi, n)
+    gx, gy, gz = np.meshgrid(xs, ys, zs, indexing="ij")
+    pts = np.stack([gx.ravel(), gy.ravel(), gz.ravel()], axis=1)
+    return pts, (n, n, n)
+
+
+def disk_quadrature(radius, n_radial=8, n_angular=16, z=0.0):
+    """Area-weighted quadrature nodes over a disk.
+
+    Uses midpoint rings in ``r^2`` (equal-area annuli) with uniform angular
+    sampling, which integrates smooth axisymmetric fields accurately.
+
+    Returns
+    -------
+    (points, weights):
+        ``points`` — (n_radial*n_angular, 3); ``weights`` — normalized to
+        sum to 1.
+    """
+    require_positive(radius, "radius")
+    nr = require_int_in_range(n_radial, "n_radial", 1, 10_000)
+    na = require_int_in_range(n_angular, "n_angular", 1, 10_000)
+    # Equal-area rings: r_i = R * sqrt((i + 0.5) / nr).
+    ring_r = radius * np.sqrt((np.arange(nr) + 0.5) / nr)
+    theta = 2.0 * np.pi * (np.arange(na) + 0.5) / na
+    rr, tt = np.meshgrid(ring_r, theta, indexing="ij")
+    xs = (rr * np.cos(tt)).ravel()
+    ys = (rr * np.sin(tt)).ravel()
+    pts = np.stack([xs, ys, np.full_like(xs, float(z))], axis=1)
+    weights = np.full(pts.shape[0], 1.0 / pts.shape[0])
+    return pts, weights
+
+
+def disk_average(field_fn, radius, n_radial=8, n_angular=16, z=0.0):
+    """Average of a vector field over a disk of ``radius`` at height ``z``.
+
+    ``field_fn`` maps an (N, 3) point array to an (N, 3) field array.
+    Returns the averaged field vector, shape (3,).
+    """
+    pts, weights = disk_quadrature(radius, n_radial, n_angular, z)
+    values = np.asarray(field_fn(pts), dtype=float)
+    return np.einsum("n,ns->s", weights, values)

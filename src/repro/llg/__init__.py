@@ -1,0 +1,46 @@
+"""Stochastic macrospin Landau-Lifshitz-Gilbert-Slonczewski solver.
+
+The paper's switching-time results come from Sun's analytical model; this
+subpackage provides an independent, lower-level cross-check: a single-domain
+(macrospin) LLG solver with Slonczewski spin-transfer torque and the thermal
+fluctuation field, integrated with the stochastic Heun scheme.
+
+It validates that (i) the STT threshold current matches Eq. 2 and (ii) the
+inverse switching time grows linearly with the overdrive current in the
+precessional regime, the functional form behind Eq. 3.
+"""
+
+from .field_switching import (
+    astroid_switching_field,
+    simulate_switching_field,
+)
+from .integrator import HeunIntegrator
+from .macrospin import MacrospinParameters, effective_field, llgs_rhs
+from .multispin import FLGrid, MultiMacrospinFL, make_fl_grid
+from .simulate import (
+    SwitchingResult,
+    SwitchingSimulation,
+    equilibrium_ensemble,
+    relax,
+)
+from .stt import slonczewski_field, stt_critical_current
+from .thermal_field import thermal_field_sigma
+
+__all__ = [
+    "FLGrid",
+    "HeunIntegrator",
+    "MacrospinParameters",
+    "MultiMacrospinFL",
+    "make_fl_grid",
+    "SwitchingResult",
+    "SwitchingSimulation",
+    "astroid_switching_field",
+    "simulate_switching_field",
+    "effective_field",
+    "equilibrium_ensemble",
+    "llgs_rhs",
+    "relax",
+    "slonczewski_field",
+    "stt_critical_current",
+    "thermal_field_sigma",
+]

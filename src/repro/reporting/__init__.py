@@ -1,0 +1,12 @@
+"""Result rendering: text tables, ASCII plots, CSV/JSON export.
+
+The execution environment has no plotting stack, so figures are rendered
+as ASCII line plots — good enough to eyeball every trend the paper plots —
+and every series is exportable to CSV/JSON for external plotting.
+"""
+
+from .ascii_plot import ascii_plot
+from .export import write_csv, write_json
+from .tables import format_table
+
+__all__ = ["ascii_plot", "format_table", "write_csv", "write_json"]

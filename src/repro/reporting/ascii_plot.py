@@ -1,0 +1,118 @@
+"""Terminal line plots.
+
+Renders one or more (x, y) series on a character grid. Not a replacement
+for matplotlib — just enough to see the trends of every paper figure
+directly in the terminal and in CI logs.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import ParameterError
+
+#: Series markers, cycled in order.
+MARKERS = "*o+x#@%&"
+
+
+def _finite_minmax(values):
+    finite = values[np.isfinite(values)]
+    if finite.size == 0:
+        raise ParameterError("series contains no finite values")
+    return float(np.min(finite)), float(np.max(finite))
+
+
+def ascii_plot(series, width=72, height=20, title="", x_label="",
+               y_label="", logy=False):
+    """Render ``series`` as an ASCII plot.
+
+    Parameters
+    ----------
+    series:
+        Mapping ``name -> (x, y)`` of 1-D arrays. Non-finite y values
+        (e.g. ``inf`` switching times below threshold) are skipped.
+    width, height:
+        Plot-area size in characters.
+    title, x_label, y_label:
+        Annotations.
+    logy:
+        Plot ``log10(y)``; requires positive y values.
+
+    Returns
+    -------
+    str
+    """
+    if not series:
+        raise ParameterError("series must not be empty")
+    if width < 16 or height < 6:
+        raise ParameterError("plot too small; need width>=16, height>=6")
+
+    processed = {}
+    for name, (x, y) in series.items():
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if x.shape != y.shape or x.ndim != 1:
+            raise ParameterError(
+                f"series {name!r}: x and y must be equal-length 1-D")
+        if logy:
+            with np.errstate(divide="ignore", invalid="ignore"):
+                y = np.where(y > 0, np.log10(y), np.nan)
+        processed[name] = (x, y)
+
+    x_min = min(_finite_minmax(x)[0] for x, _ in processed.values())
+    x_max = max(_finite_minmax(x)[1] for x, _ in processed.values())
+    y_min = min(_finite_minmax(y)[0] for _, y in processed.values())
+    y_max = max(_finite_minmax(y)[1] for _, y in processed.values())
+    if math.isclose(x_min, x_max):
+        x_max = x_min + 1.0
+    if math.isclose(y_min, y_max):
+        y_max = y_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def to_col(xv):
+        return int(round((xv - x_min) / (x_max - x_min) * (width - 1)))
+
+    def to_row(yv):
+        frac = (yv - y_min) / (y_max - y_min)
+        return (height - 1) - int(round(frac * (height - 1)))
+
+    for idx, (name, (x, y)) in enumerate(processed.items()):
+        marker = MARKERS[idx % len(MARKERS)]
+        for xv, yv in zip(x, y):
+            if not (np.isfinite(xv) and np.isfinite(yv)):
+                continue
+            grid[to_row(yv)][to_col(xv)] = marker
+
+    y_top = f"{y_max:.4g}"
+    y_bot = f"{y_min:.4g}"
+    label_w = max(len(y_top), len(y_bot)) + 1
+
+    lines = []
+    if title:
+        lines.append(title)
+    if y_label or logy:
+        lines.append(f"[y: {y_label}{' (log10)' if logy else ''}]")
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = y_top.rjust(label_w)
+        elif i == height - 1:
+            label = y_bot.rjust(label_w)
+        else:
+            label = " " * label_w
+        lines.append(f"{label} |{''.join(row)}")
+    axis = " " * label_w + " +" + "-" * width
+    lines.append(axis)
+    x_line = (" " * label_w + "  " + f"{x_min:.4g}"
+              + " " * max(1, width - len(f"{x_min:.4g}")
+                          - len(f"{x_max:.4g}")) + f"{x_max:.4g}")
+    lines.append(x_line)
+    if x_label:
+        lines.append(" " * label_w + f"  [x: {x_label}]")
+    legend = "   ".join(
+        f"{MARKERS[i % len(MARKERS)]} {name}"
+        for i, name in enumerate(processed))
+    lines.append("  legend: " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,52 @@
+"""CSV / JSON result export."""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+
+import numpy as np
+
+from ..errors import ParameterError
+
+
+def _jsonable(value):
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def write_csv(path, headers, rows):
+    """Write ``rows`` under ``headers`` to ``path`` as CSV.
+
+    Creates parent directories as needed; returns the path.
+    """
+    headers = list(headers)
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        for row in rows:
+            row = list(row)
+            if len(row) != len(headers):
+                raise ParameterError(
+                    f"row has {len(row)} cells, expected {len(headers)}")
+            writer.writerow(row)
+    return path
+
+
+def write_json(path, payload):
+    """Write ``payload`` (dict; numpy values allowed) to ``path`` as JSON."""
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(_jsonable(payload), handle, indent=2, sort_keys=True)
+    return path

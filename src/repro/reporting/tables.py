@@ -1,0 +1,57 @@
+"""Plain-text table formatting."""
+
+from __future__ import annotations
+
+from ..errors import ParameterError
+
+
+def _format_cell(value, float_format):
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return format(value, float_format)
+    return str(value)
+
+
+def format_table(headers, rows, float_format=".4g", indent=""):
+    """Format ``rows`` under ``headers`` as an aligned text table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Iterable of row tuples; floats are formatted with
+        ``float_format``, everything else with ``str``.
+    float_format:
+        Format spec applied to float cells.
+    indent:
+        Prefix for every output line.
+
+    Returns
+    -------
+    str
+        The table, newline separated, with a rule under the header.
+    """
+    headers = [str(h) for h in headers]
+    formatted = []
+    for row in rows:
+        cells = [_format_cell(cell, float_format) for cell in row]
+        if len(cells) != len(headers):
+            raise ParameterError(
+                f"row has {len(cells)} cells, expected {len(headers)}")
+        formatted.append(cells)
+
+    widths = [len(h) for h in headers]
+    for cells in formatted:
+        for i, cell in enumerate(cells):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells):
+        return indent + "  ".join(
+            cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = [render_row(headers),
+             indent + "  ".join("-" * w for w in widths)]
+    lines.extend(render_row(cells) for cells in formatted)
+    return "\n".join(lines)

@@ -1,0 +1,201 @@
+"""MTJ stack definition and the calibrated reference stack.
+
+An :class:`MTJStack` is an ordered set of :class:`~repro.geometry.Layer`
+objects sharing one pillar diameter. It knows how to expose its magnetic
+layers (FL, RL, HL) and how to convert them into bound-current loop sources
+for the stray-field model (see :mod:`repro.fields.bound_current`).
+
+The reference stack built by :func:`build_reference_stack` reproduces the
+paper's device family: a bottom-pinned perpendicular MTJ with dual MgO and a
+SAF pinned system, reduced to effective uniformly-magnetized layers. The
+layer thicknesses and effective magnetizations are calibrated so that the
+intra-cell stray field matches the paper's measured anchors (DESIGN.md
+section 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+from . import materials as mats
+from .errors import GeometryError, ParameterError
+from .geometry import Layer, LayerRole, PillarGeometry, check_no_overlap
+from .validation import require_positive
+
+
+@dataclass(frozen=True)
+class MTJStack:
+    """An MTJ pillar: a validated, non-overlapping stack of layers.
+
+    Parameters
+    ----------
+    layers:
+        Tuple of :class:`Layer`, any vertical order (stored sorted from
+        bottom to top).
+    pillar:
+        Lateral :class:`PillarGeometry` (eCD).
+    """
+
+    layers: Tuple[Layer, ...]
+    pillar: PillarGeometry
+
+    def __post_init__(self):
+        ordered = tuple(check_no_overlap(self.layers))
+        object.__setattr__(self, "layers", ordered)
+        for role in (LayerRole.FREE, LayerRole.REFERENCE, LayerRole.HARD):
+            found = [la for la in ordered if la.role is role]
+            if len(found) != 1:
+                raise GeometryError(
+                    f"stack must contain exactly one {role.value} layer, "
+                    f"found {len(found)}")
+
+    def _layer(self, role):
+        for layer in self.layers:
+            if layer.role is role:
+                return layer
+        raise GeometryError(f"no layer with role {role.value}")
+
+    @property
+    def free_layer(self):
+        """The free (data-storing) layer."""
+        return self._layer(LayerRole.FREE)
+
+    @property
+    def reference_layer(self):
+        """The reference layer (fixed, adjacent to the barrier)."""
+        return self._layer(LayerRole.REFERENCE)
+
+    @property
+    def hard_layer(self):
+        """The hard layer (fixed, bottom of the SAF)."""
+        return self._layer(LayerRole.HARD)
+
+    @property
+    def barrier(self):
+        """The MgO tunnel barrier layer."""
+        return self._layer(LayerRole.BARRIER)
+
+    @property
+    def ecd(self):
+        """Electrical critical diameter [m]."""
+        return self.pillar.ecd
+
+    @property
+    def radius(self):
+        """Pillar radius [m]."""
+        return self.pillar.radius
+
+    @property
+    def area(self):
+        """Pillar cross-sectional area [m^2]."""
+        return self.pillar.area
+
+    def fixed_layers(self):
+        """The layers whose magnetization never changes (RL and HL)."""
+        return (self.reference_layer, self.hard_layer)
+
+    def magnetic_layers(self):
+        """All moment-carrying layers (FL, RL, HL), bottom to top."""
+        return tuple(la for la in self.layers if la.is_magnetic_role)
+
+    def with_ecd(self, ecd):
+        """Return a copy of this stack with a different pillar eCD."""
+        require_positive(ecd, "ecd")
+        return replace(self, pillar=PillarGeometry(ecd=ecd))
+
+    def with_layer_ms(self, role, ms):
+        """Return a copy with the ``role`` layer's ``Ms`` replaced.
+
+        Used by the calibration fit, which adjusts the effective RL/HL
+        magnetizations to match measured offset fields.
+        """
+        if ms < 0:
+            raise ParameterError(f"ms must be >= 0, got {ms!r}")
+        new_layers = []
+        found = False
+        for layer in self.layers:
+            if layer.role is role:
+                new_layers.append(
+                    replace(layer, material=layer.material.with_ms(ms)))
+                found = True
+            else:
+                new_layers.append(layer)
+        if not found:
+            raise GeometryError(f"no layer with role {role.value}")
+        return replace(self, layers=tuple(new_layers))
+
+
+#: Default reference-stack layer thicknesses [m] (see DESIGN.md section 6).
+DEFAULT_THICKNESSES = {
+    "free": 2.0e-9,
+    "barrier": 1.0e-9,
+    "reference": 1.2e-9,
+    "spacer": 2.3e-9,
+    "hard": 4.0e-9,
+}
+
+#: Calibrated effective RL magnetization [A/m] (Ms*t_RL ~ 0.21 mA).
+DEFAULT_RL_MS = 1.78e5
+
+#: Calibrated effective HL magnetization [A/m] (Ms*t_HL ~ 1.45 mA).
+DEFAULT_HL_MS = 3.62e5
+
+
+def build_reference_stack(ecd, *, fl_ms=None, rl_ms=None, hl_ms=None,
+                          thicknesses=None):
+    """Build the calibrated bottom-pinned reference stack.
+
+    Layer order (top to bottom): FL / MgO barrier / RL / SAF spacer / HL.
+    z=0 is the FL midplane; the pinned system extends to negative z.
+
+    Parameters
+    ----------
+    ecd:
+        Electrical critical diameter [m].
+    fl_ms, rl_ms, hl_ms:
+        Optional overrides of the layer saturation magnetizations [A/m].
+        Defaults are the calibrated effective values.
+    thicknesses:
+        Optional mapping overriding entries of :data:`DEFAULT_THICKNESSES`.
+
+    Returns
+    -------
+    MTJStack
+    """
+    require_positive(ecd, "ecd")
+    th = dict(DEFAULT_THICKNESSES)
+    if thicknesses:
+        unknown = set(thicknesses) - set(th)
+        if unknown:
+            raise ParameterError(
+                f"unknown thickness keys: {sorted(unknown)}")
+        th.update(thicknesses)
+    for key, value in th.items():
+        require_positive(value, f"thickness[{key}]")
+
+    fl_mat = mats.COFEB_FREE if fl_ms is None else mats.COFEB_FREE.with_ms(
+        fl_ms)
+    rl_mat = (mats.COFEB_REFERENCE_EFF.with_ms(DEFAULT_RL_MS)
+              if rl_ms is None
+              else mats.COFEB_REFERENCE_EFF.with_ms(rl_ms))
+    hl_mat = (mats.COPT_HARD_EFF.with_ms(DEFAULT_HL_MS)
+              if hl_ms is None else mats.COPT_HARD_EFF.with_ms(hl_ms))
+
+    fl_half = 0.5 * th["free"]
+    z_fl_bottom = -fl_half
+    z_tb_bottom = z_fl_bottom - th["barrier"]
+    z_rl_bottom = z_tb_bottom - th["reference"]
+    z_sp_bottom = z_rl_bottom - th["spacer"]
+    z_hl_bottom = z_sp_bottom - th["hard"]
+
+    layers = (
+        Layer(LayerRole.FREE, fl_mat, z_fl_bottom, fl_half, direction=+1),
+        Layer(LayerRole.BARRIER, mats.MGO, z_tb_bottom, z_fl_bottom),
+        Layer(LayerRole.REFERENCE, rl_mat, z_rl_bottom, z_tb_bottom,
+              direction=+1),
+        Layer(LayerRole.SPACER, mats.SPACER, z_sp_bottom, z_rl_bottom),
+        Layer(LayerRole.HARD, hl_mat, z_hl_bottom, z_sp_bottom,
+              direction=-1),
+    )
+    return MTJStack(layers=layers, pillar=PillarGeometry(ecd=ecd))

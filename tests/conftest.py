@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.device import MTJDevice, PAPER_EVAL_DEVICE
+from repro.stack import build_reference_stack
+
+
+@pytest.fixture
+def eval_device():
+    """A fresh paper evaluation device (eCD = 35 nm)."""
+    return MTJDevice(PAPER_EVAL_DEVICE)
+
+
+@pytest.fixture
+def stack35():
+    """The reference stack at eCD = 35 nm."""
+    return build_reference_stack(35e-9)
+
+
+@pytest.fixture
+def stack55():
+    """The reference stack at eCD = 55 nm."""
+    return build_reference_stack(55e-9)
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator."""
+    return np.random.default_rng(20200309)

@@ -1,0 +1,89 @@
+"""Tests for the write-voltage optimizer (WER vs breakdown)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import BreakdownModel, WriteVoltageOptimizer
+from repro.errors import ParameterError
+
+
+@pytest.fixture
+def optimizer(eval_device):
+    return WriteVoltageOptimizer(eval_device)
+
+
+@pytest.fixture
+def hz_intra(eval_device):
+    return eval_device.intra_stray_field()
+
+
+class TestBreakdownModel:
+    def test_exponential_acceleration(self):
+        model = BreakdownModel(t0=1e9, gamma=10.0)
+        assert (model.time_to_breakdown(1.0)
+                / model.time_to_breakdown(1.1)) == pytest.approx(
+            np.e, rel=1e-9)
+
+    def test_per_pulse_probability_linear_in_width(self):
+        model = BreakdownModel()
+        p1 = model.per_pulse_probability(1.2, 10e-9)
+        p2 = model.per_pulse_probability(1.2, 20e-9)
+        assert p2 == pytest.approx(2 * p1, rel=1e-12)
+
+    def test_probability_capped_at_one(self):
+        model = BreakdownModel(t0=1e-12, gamma=1.0)
+        assert model.per_pulse_probability(1.0, 1.0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            BreakdownModel(t0=-1.0)
+
+
+class TestTradeoff:
+    def test_total_is_u_shaped(self, optimizer, hz_intra):
+        voltages = np.linspace(0.8, 1.6, 33)
+        wer, bd, total = optimizer.sweep(voltages, 20e-9, hz_intra)
+        # WER decreases, breakdown increases.
+        assert np.all(np.diff(wer) <= 1e-15)
+        assert np.all(np.diff(bd) >= -1e-18)
+        # Total has an interior minimum.
+        idx = int(np.argmin(total))
+        assert 0 < idx < len(voltages) - 1
+
+    def test_optimum_is_minimum(self, optimizer, hz_intra):
+        v_opt = optimizer.optimal_voltage(20e-9, hz_intra)
+        f_opt = optimizer.total_failure(v_opt, 20e-9, hz_intra)
+        for dv in (-0.05, 0.05):
+            assert f_opt <= optimizer.total_failure(
+                v_opt + dv, 20e-9, hz_intra) + 1e-18
+
+    def test_longer_pulse_lower_optimal_voltage(self, optimizer,
+                                                hz_intra):
+        """With more time available, less overdrive is needed and the
+        breakdown term pushes the optimum down."""
+        v_short = optimizer.optimal_voltage(10e-9, hz_intra)
+        v_long = optimizer.optimal_voltage(40e-9, hz_intra)
+        assert v_long < v_short
+
+    def test_worst_corner_optimum(self, optimizer, eval_device):
+        pitch = 1.5 * eval_device.params.ecd
+        v_opt, failure = optimizer.worst_corner_optimum(20e-9, pitch)
+        assert 0.8 < v_opt < 1.6
+        assert 0.0 < failure < 1e-2
+
+    def test_worst_corner_needs_more_voltage(self, optimizer,
+                                             eval_device, hz_intra):
+        pitch = 1.5 * eval_device.params.ecd
+        v_worst, _ = optimizer.worst_corner_optimum(20e-9, pitch)
+        v_intra = optimizer.optimal_voltage(20e-9, hz_intra)
+        assert v_worst >= v_intra - 1e-3
+
+    def test_bad_bounds_rejected(self, optimizer):
+        with pytest.raises(ParameterError):
+            optimizer.optimal_voltage(20e-9, v_bounds=(1.5, 1.0))
+
+    def test_rejects_non_device(self):
+        with pytest.raises(ParameterError):
+            WriteVoltageOptimizer("device")

@@ -1,0 +1,67 @@
+"""Tests for the whole-array retention-risk map."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arrays import VictimAnalysis, retention_map
+from repro.arrays.pattern import ALL_P, checkerboard, solid
+from repro.device import MTJState
+from repro.errors import ParameterError
+from repro.units import celsius_to_kelvin
+
+
+class TestRetentionMap:
+    def test_border_nan_interior_finite(self, eval_device):
+        rmap = retention_map(eval_device, 70e-9, solid(6, 6, 0))
+        assert np.isnan(rmap.delta[0, 0])
+        assert np.isfinite(rmap.delta[2, 2])
+
+    def test_solid0_matches_victim_worst_case(self, eval_device):
+        pitch = 70e-9
+        rmap = retention_map(eval_device, pitch, solid(6, 6, 0))
+        victim = VictimAnalysis(eval_device, pitch)
+        expected = victim.delta(MTJState.P, ALL_P)
+        assert rmap.delta[2, 2] == pytest.approx(expected, rel=1e-6)
+
+    def test_solid0_weaker_than_solid1(self, eval_device):
+        # All-P arrays sit at the retention worst corner; all-AP arrays
+        # (storing 1s) are the stable corner under the negative field.
+        weak = retention_map(eval_device, 70e-9, solid(6, 6, 0))
+        strong = retention_map(eval_device, 70e-9, solid(6, 6, 1))
+        assert weak.weakest_delta < strong.weakest_delta
+
+    def test_checkerboard_has_two_levels(self, eval_device):
+        rmap = retention_map(eval_device, 70e-9, checkerboard(7, 7))
+        interior = rmap.delta[1:-1, 1:-1]
+        unique = np.unique(np.round(interior, 6))
+        assert unique.size == 2  # P cells and AP cells.
+
+    def test_weakest_cell_coordinates(self, eval_device):
+        rmap = retention_map(eval_device, 70e-9, checkerboard(7, 7))
+        row, col = rmap.weakest_cell
+        assert rmap.delta[row, col] == pytest.approx(
+            rmap.weakest_delta)
+
+    def test_cells_below_spec(self, eval_device):
+        rmap = retention_map(eval_device, 52.5e-9, solid(6, 6, 0))
+        n_all = rmap.cells_below(1000.0)
+        assert n_all == 16  # every interior cell of a 6x6.
+        assert rmap.cells_below(1.0) == 0
+
+    def test_temperature_lowers_map(self, eval_device):
+        cold = retention_map(eval_device, 70e-9, solid(6, 6, 0))
+        hot = retention_map(eval_device, 70e-9, solid(6, 6, 0),
+                            temperature=celsius_to_kelvin(125.0))
+        assert hot.weakest_delta < cold.weakest_delta
+
+    def test_statistics(self, eval_device):
+        rmap = retention_map(eval_device, 70e-9, checkerboard(8, 8))
+        mean, std, lo, hi = rmap.interior_statistics()
+        assert lo <= mean <= hi
+        assert std > 0
+
+    def test_rejects_non_device(self):
+        with pytest.raises(ParameterError):
+            retention_map("device", 70e-9, solid(6, 6, 0))

@@ -1,0 +1,87 @@
+"""Tests for the retention bake-test emulation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.characterization import (
+    delta_from_bake,
+    plan_bake,
+    run_bake_test,
+)
+from repro.characterization.bake import BakeResult
+from repro.device import MTJDevice, MTJState, PAPER_EVAL_DEVICE
+from repro.errors import MeasurementError, ParameterError
+from repro.units import celsius_to_kelvin
+
+
+@pytest.fixture(scope="module")
+def device():
+    return MTJDevice(PAPER_EVAL_DEVICE)
+
+
+class TestBakeEmulation:
+    def test_planned_bake_hits_target_fraction(self, device):
+        temp = celsius_to_kelvin(150.0)
+        duration = plan_bake(device, 0.3, temp)
+        result = run_bake_test(device, temp, duration, n_bits=20_000,
+                               rng=3)
+        assert result.fail_fraction == pytest.approx(0.3, abs=0.03)
+
+    def test_longer_bake_more_failures(self, device):
+        temp = celsius_to_kelvin(150.0)
+        base = plan_bake(device, 0.2, temp)
+        short = run_bake_test(device, temp, base, n_bits=20_000, rng=4)
+        long = run_bake_test(device, temp, 5 * base, n_bits=20_000,
+                             rng=4)
+        assert long.n_failed > short.n_failed
+
+    def test_hotter_bake_more_failures(self, device):
+        duration = plan_bake(device, 0.2, celsius_to_kelvin(150.0))
+        cool = run_bake_test(device, celsius_to_kelvin(125.0), duration,
+                             n_bits=20_000, rng=5)
+        hot = run_bake_test(device, celsius_to_kelvin(150.0), duration,
+                            n_bits=20_000, rng=5)
+        assert hot.n_failed > cool.n_failed
+
+    def test_ap_state_more_stable(self, device):
+        # Under the negative intra-cell field Delta_AP > Delta_P: the AP
+        # bake must fail less.
+        temp = celsius_to_kelvin(150.0)
+        duration = plan_bake(device, 0.3, temp, state=MTJState.P)
+        p_bake = run_bake_test(device, temp, duration, n_bits=20_000,
+                               state=MTJState.P, rng=6)
+        ap_bake = run_bake_test(device, temp, duration, n_bits=20_000,
+                                state=MTJState.AP, rng=6)
+        assert ap_bake.n_failed < p_bake.n_failed
+
+    def test_validation(self, device):
+        with pytest.raises(ParameterError):
+            run_bake_test("device", 400.0, 1.0)
+        with pytest.raises(ParameterError):
+            plan_bake(device, 1.5, 400.0)
+
+
+class TestDeltaInversion:
+    def test_recovers_injected_delta(self, device):
+        temp = celsius_to_kelvin(150.0)
+        stray = device.intra_stray_field()
+        true_delta = device.delta(MTJState.P, stray, temperature=temp)
+        duration = plan_bake(device, 0.3, temp)
+        result = run_bake_test(device, temp, duration, n_bits=50_000,
+                               rng=7)
+        estimate = delta_from_bake(
+            result, attempt_frequency=device.params.attempt_frequency)
+        assert estimate == pytest.approx(true_delta, abs=0.15)
+
+    def test_no_failures_uninformative(self):
+        result = BakeResult(temperature=400.0, duration=1.0,
+                            n_bits=100, n_failed=0)
+        with pytest.raises(MeasurementError):
+            delta_from_bake(result)
+
+    def test_all_failures_uninformative(self):
+        result = BakeResult(temperature=400.0, duration=1.0,
+                            n_bits=100, n_failed=100)
+        with pytest.raises(MeasurementError):
+            delta_from_bake(result)

@@ -1,0 +1,112 @@
+"""Tests for switching-probability curves and the Hk/Delta0 fit."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.characterization import (
+    fit_hk_delta0,
+    switching_probability_curve,
+    switching_probability_model,
+)
+from repro.device import MTJDevice
+from repro.errors import CalibrationError
+from repro.experiments.data import wafer_device_parameters
+from repro.units import nm_to_m, oe_to_am
+
+
+@pytest.fixture(scope="module")
+def device55():
+    return MTJDevice(wafer_device_parameters(nm_to_m(55.0)))
+
+
+class TestModelCurve:
+    def test_monotone_in_field(self):
+        fields = np.linspace(0.0, oe_to_am(4000.0), 50)
+        probs = switching_probability_model(fields, oe_to_am(3800.0),
+                                            100.0, 1e-3)
+        assert np.all(np.diff(probs) >= -1e-12)
+        assert probs[0] < 1e-6
+        assert probs[-1] > 0.999
+
+    def test_probability_bounds(self):
+        fields = np.linspace(-oe_to_am(1000.0), oe_to_am(6000.0), 30)
+        probs = switching_probability_model(fields, oe_to_am(3800.0),
+                                            60.0, 1e-3)
+        assert np.all((probs >= 0) & (probs <= 1))
+
+    def test_stray_field_shifts_curve(self):
+        fields = np.linspace(0.0, oe_to_am(4000.0), 200)
+        base = switching_probability_model(fields, oe_to_am(3800.0),
+                                           100.0, 1e-3)
+        shifted = switching_probability_model(
+            fields, oe_to_am(3800.0), 100.0, 1e-3,
+            hz_stray=oe_to_am(-300.0))
+        # Negative stray field -> need more applied field -> curve moves
+        # right -> probability lower at fixed field.
+        mid = len(fields) // 2
+        assert shifted[mid] <= base[mid]
+
+    def test_longer_pulse_easier(self):
+        field = np.array([oe_to_am(2000.0)])
+        short = switching_probability_model(field, oe_to_am(3800.0),
+                                            100.0, 1e-4)
+        long = switching_probability_model(field, oe_to_am(3800.0),
+                                           100.0, 1e-1)
+        assert long[0] > short[0]
+
+
+class TestMonteCarloCurve:
+    def test_estimates_match_model(self, device55):
+        fields = np.linspace(oe_to_am(1000.0), oe_to_am(3500.0), 15)
+        _, measured = switching_probability_curve(
+            device55, fields, n_cycles=400, rng=1)
+        expected = switching_probability_model(
+            fields, device55.params.hk, device55.params.delta0, 1e-3,
+            hz_stray=device55.intra_stray_field())
+        np.testing.assert_allclose(measured, expected, atol=0.08)
+
+    def test_reproducible_with_seed(self, device55):
+        fields = np.linspace(oe_to_am(1500.0), oe_to_am(3000.0), 5)
+        _, a = switching_probability_curve(device55, fields,
+                                           n_cycles=100, rng=42)
+        _, b = switching_probability_curve(device55, fields,
+                                           n_cycles=100, rng=42)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestHkDelta0Fit:
+    def test_recovers_parameters(self, device55):
+        """The paper's extraction: fit Psw(H) -> (Hk, Delta0)."""
+        stray = device55.intra_stray_field()
+        fields = np.linspace(oe_to_am(1200.0), oe_to_am(3800.0), 40)
+        _, probs = switching_probability_curve(
+            device55, fields, n_cycles=1000, t_pulse=1e-3, rng=7)
+        fit = fit_hk_delta0(fields, probs, t_pulse=1e-3, hz_stray=stray)
+        assert fit.hk == pytest.approx(device55.params.hk, rel=0.05)
+        assert fit.delta0 == pytest.approx(device55.params.delta0,
+                                           rel=0.15)
+        assert fit.rmse < 0.05
+
+    def test_wrong_stray_biases_hk(self, device55):
+        stray = device55.intra_stray_field()
+        fields = np.linspace(oe_to_am(1200.0), oe_to_am(3800.0), 40)
+        _, probs = switching_probability_curve(
+            device55, fields, n_cycles=1000, t_pulse=1e-3, rng=7)
+        biased = fit_hk_delta0(fields, probs, t_pulse=1e-3, hz_stray=0.0)
+        correct = fit_hk_delta0(fields, probs, t_pulse=1e-3,
+                                hz_stray=stray)
+        assert abs(biased.hk - device55.params.hk) > abs(
+            correct.hk - device55.params.hk)
+
+    def test_needs_transition(self):
+        fields = np.linspace(0.0, oe_to_am(500.0), 10)
+        probs = np.zeros(10)
+        with pytest.raises(CalibrationError):
+            fit_hk_delta0(fields, probs, t_pulse=1e-3)
+
+    def test_needs_enough_points(self):
+        with pytest.raises(CalibrationError):
+            fit_hk_delta0(np.array([1.0, 2.0]), np.array([0.1, 0.9]),
+                          t_pulse=1e-3)

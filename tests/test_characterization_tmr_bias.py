@@ -1,0 +1,81 @@
+"""Tests for the TMR-vs-bias measurement and V_half extraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.characterization import fit_tmr_bias, measure_rv_curves
+from repro.errors import CalibrationError, ParameterError
+
+
+@pytest.fixture
+def rv_data(eval_device):
+    voltages = np.linspace(0.0, 1.2, 25)
+    r_p, r_ap = measure_rv_curves(eval_device, voltages, rng=4,
+                                  noise=0.003)
+    return voltages, r_p, r_ap
+
+
+class TestMeasurement:
+    def test_shapes(self, rv_data):
+        voltages, r_p, r_ap = rv_data
+        assert r_p.shape == voltages.shape
+        assert r_ap.shape == voltages.shape
+
+    def test_ap_above_p_everywhere(self, rv_data):
+        _, r_p, r_ap = rv_data
+        assert np.all(r_ap > r_p)
+
+    def test_ap_rolls_off(self, rv_data):
+        voltages, _, r_ap = rv_data
+        assert r_ap[0] > r_ap[-1]
+
+    def test_zero_noise_exact(self, eval_device):
+        voltages = np.array([0.0, 0.5, 1.0])
+        r_p, r_ap = measure_rv_curves(eval_device, voltages, rng=1,
+                                      noise=0.0)
+        params = eval_device.params
+        assert r_ap[1] == pytest.approx(
+            params.resistance.rap(params.ecd, 0.5))
+
+    def test_negative_bias_rejected(self, eval_device):
+        with pytest.raises(ParameterError):
+            measure_rv_curves(eval_device, np.array([-0.1, 0.5]))
+
+    def test_rejects_non_device(self):
+        with pytest.raises(ParameterError):
+            measure_rv_curves("device", np.array([0.1]))
+
+
+class TestFit:
+    def test_recovers_injected_parameters(self, eval_device, rv_data):
+        voltages, r_p, r_ap = rv_data
+        fit = fit_tmr_bias(voltages, r_p, r_ap)
+        resistance = eval_device.params.resistance
+        assert fit.tmr0 == pytest.approx(resistance.tmr0, rel=0.05)
+        assert fit.v_half == pytest.approx(resistance.v_half, rel=0.08)
+        assert fit.rmse < 0.05
+
+    def test_noisier_data_still_converges(self, eval_device):
+        voltages = np.linspace(0.0, 1.2, 40)
+        r_p, r_ap = measure_rv_curves(eval_device, voltages, rng=9,
+                                      noise=0.02)
+        fit = fit_tmr_bias(voltages, r_p, r_ap)
+        assert fit.v_half == pytest.approx(
+            eval_device.params.resistance.v_half, rel=0.3)
+
+    def test_degenerate_bias_rejected(self):
+        voltages = np.full(5, 0.5)
+        with pytest.raises(CalibrationError):
+            fit_tmr_bias(voltages, np.full(5, 1e3), np.full(5, 2e3))
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(CalibrationError):
+            fit_tmr_bias(np.array([0.0, 0.5]), np.array([1e3, 1e3]),
+                         np.array([2e3, 1.9e3]))
+
+    def test_negative_tmr_rejected(self):
+        voltages = np.linspace(0.0, 1.0, 5)
+        with pytest.raises(CalibrationError):
+            fit_tmr_bias(voltages, np.full(5, 2e3), np.full(5, 1e3))

@@ -1,0 +1,51 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["psi"])
+        assert args.ecd_nm == 35.0
+        assert args.target == 0.02
+
+
+class TestCommands:
+    def test_psi(self, capsys):
+        assert main(["psi", "--points", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "Psi vs pitch" in out
+        assert "Psi = 2% at pitch" in out
+
+    def test_psi_custom_target(self, capsys):
+        assert main(["psi", "--points", "8", "--target", "0.05"]) == 0
+        assert "5% at pitch" in capsys.readouterr().out
+
+    def test_design(self, capsys):
+        assert main(["design", "--ecds-nm", "35",
+                     "--ratios", "1.5,3.0"]) == 0
+        out = capsys.readouterr().out
+        assert "Psi (%)" in out
+        assert out.count("\n") >= 4
+
+    def test_wer(self, capsys):
+        assert main(["wer", "--vp", "1.0", "--target", "1e-4"]) == 0
+        out = capsys.readouterr().out
+        assert "WER=0.0001" in out
+
+    def test_model_card(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "card")
+        assert main(["model-card", "--out", out_dir,
+                     "--name", "cell"]) == 0
+        assert os.path.exists(os.path.join(out_dir, "cell.sp"))
+        assert "wrote" in capsys.readouterr().out

@@ -1,0 +1,98 @@
+"""Tests for the effective-moment calibration fit."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import fit_effective_moments
+from repro.core.intra import IntraCellModel
+from repro.errors import CalibrationError
+from repro.stack import (
+    DEFAULT_HL_MS,
+    DEFAULT_RL_MS,
+    build_reference_stack,
+)
+from repro.units import nm_to_m, oe_to_am
+
+
+SIZES = np.array([nm_to_m(e) for e in (35.0, 55.0, 90.0, 120.0, 175.0)])
+
+
+class TestExactRecovery:
+    def test_recovers_true_moments_from_clean_data(self):
+        model = IntraCellModel()
+        hz = model.hz_vs_ecd(SIZES)
+        result = fit_effective_moments(SIZES, hz)
+        assert result.rl_ms == pytest.approx(DEFAULT_RL_MS, rel=1e-6)
+        assert result.hl_ms == pytest.approx(DEFAULT_HL_MS, rel=1e-6)
+        assert result.rmse_oe < 1e-6
+
+    def test_builder_reproduces_data(self):
+        model = IntraCellModel()
+        hz = model.hz_vs_ecd(SIZES)
+        result = fit_effective_moments(SIZES, hz)
+        fitted = IntraCellModel(stack_builder=result.stack_builder)
+        np.testing.assert_allclose(fitted.hz_vs_ecd(SIZES), hz,
+                                   rtol=1e-9)
+
+    def test_recovery_with_scaled_truth(self):
+        # Generate data from a modified stack and confirm the fit finds it.
+        def truth_builder(ecd):
+            stack = build_reference_stack(ecd)
+            from repro.geometry import LayerRole
+            stack = stack.with_layer_ms(LayerRole.REFERENCE, 2.5e5)
+            return stack.with_layer_ms(LayerRole.HARD, 3.0e5)
+
+        truth = IntraCellModel(stack_builder=truth_builder)
+        hz = truth.hz_vs_ecd(SIZES)
+        result = fit_effective_moments(SIZES, hz)
+        assert result.rl_ms == pytest.approx(2.5e5, rel=1e-6)
+        assert result.hl_ms == pytest.approx(3.0e5, rel=1e-6)
+
+
+class TestNoisyRecovery:
+    def test_fit_predicts_curve_despite_noise(self):
+        """The RL/HL decomposition is ill-conditioned (nearly collinear
+        columns), so noise moves the individual moments — but the fitted
+        *curve* must still track the true model closely, including at
+        sizes not in the fit.
+        """
+        rng = np.random.default_rng(12)
+        model = IntraCellModel()
+        hz = model.hz_vs_ecd(SIZES) + oe_to_am(5.0) * rng.standard_normal(
+            SIZES.size)
+        result = fit_effective_moments(SIZES, hz)
+        assert result.rmse_oe < 15.0
+        assert result.rl_ms > 0 and result.hl_ms > 0
+        fitted = IntraCellModel(stack_builder=result.stack_builder)
+        probe = np.array([nm_to_m(e) for e in (35.0, 70.0, 140.0)])
+        errors_oe = np.abs(
+            (fitted.hz_vs_ecd(probe) - model.hz_vs_ecd(probe))
+            / oe_to_am(1.0))
+        assert np.all(errors_oe < 15.0)
+
+    def test_describe_keys(self):
+        model = IntraCellModel()
+        result = fit_effective_moments(SIZES, model.hz_vs_ecd(SIZES))
+        desc = result.describe()
+        assert desc["hl_mst_ma"] == pytest.approx(
+            DEFAULT_HL_MS * 4.0e-9 * 1e3, rel=1e-6)
+        assert "rmse_oe" in desc
+
+
+class TestFailureModes:
+    def test_single_size_degenerate(self):
+        sizes = np.array([nm_to_m(55.0)])
+        with pytest.raises(CalibrationError):
+            fit_effective_moments(sizes, np.array([-2e4]))
+
+    def test_sign_flipped_data_rejected(self):
+        model = IntraCellModel()
+        hz = -model.hz_vs_ecd(SIZES)  # positive fields: non-physical fit.
+        with pytest.raises(CalibrationError):
+            fit_effective_moments(SIZES, hz)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(CalibrationError):
+            fit_effective_moments(SIZES, np.zeros(3))

@@ -1,0 +1,82 @@
+"""Tests for the 1T-1R write-path model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.device import (
+    AccessTransistor,
+    MTJDevice,
+    MTJState,
+    PAPER_EVAL_DEVICE,
+    WritePath,
+)
+from repro.errors import ParameterError, SimulationError
+
+
+@pytest.fixture
+def path(eval_device):
+    return WritePath(eval_device, AccessTransistor(r_on=3000.0))
+
+
+class TestOperatingPoint:
+    def test_divider_drops_voltage(self, path):
+        v_mtj = path.mtj_voltage(1.2, MTJState.AP)
+        assert 0 < v_mtj < 1.2
+
+    def test_consistency_of_fixed_point(self, path, eval_device):
+        v_cell = 1.2
+        v_mtj = path.mtj_voltage(v_cell, MTJState.AP)
+        r_mtj = eval_device.params.resistance.resistance(
+            eval_device.params.ecd, "AP", v_mtj)
+        expected = v_cell * r_mtj / (r_mtj + 3000.0)
+        assert v_mtj == pytest.approx(expected, abs=1e-6)
+
+    def test_p_state_drops_more(self, path):
+        # RP < RAP: the access device eats a larger share in P state.
+        v_ap = path.mtj_voltage(1.2, MTJState.AP)
+        v_p = path.mtj_voltage(1.2, MTJState.P)
+        assert v_p < v_ap
+
+    def test_zero_access_resistance_limit(self, eval_device):
+        ideal = WritePath(eval_device, AccessTransistor(r_on=1e-3))
+        assert ideal.mtj_voltage(1.0, MTJState.AP) == pytest.approx(
+            1.0, abs=1e-5)
+
+    def test_current_continuity(self, path, eval_device):
+        v_cell = 1.2
+        i = path.write_current(v_cell, MTJState.AP)
+        v_mtj = path.mtj_voltage(v_cell, MTJState.AP)
+        assert i == pytest.approx((v_cell - v_mtj) / 3000.0, rel=1e-4)
+
+
+class TestWriteTiming:
+    def test_access_device_slows_write(self, path, eval_device):
+        h = eval_device.intra_stray_field()
+        tw_direct = eval_device.switching_time(1.1, h)
+        tw_through = path.switching_time(1.1, h)
+        assert tw_through > tw_direct
+
+    def test_required_cell_voltage_roundtrip(self, path):
+        v_cell = path.required_cell_voltage(0.9, MTJState.AP)
+        assert path.mtj_voltage(v_cell, MTJState.AP) == pytest.approx(
+            0.9, abs=1e-6)
+
+    def test_unreachable_target(self, eval_device):
+        starved = WritePath(eval_device, AccessTransistor(r_on=1e6))
+        with pytest.raises(SimulationError):
+            starved.required_cell_voltage(0.9, MTJState.AP, v_max=1.2)
+
+
+class TestValidation:
+    def test_bad_r_on(self):
+        with pytest.raises(Exception):
+            AccessTransistor(r_on=0.0)
+
+    def test_bad_device(self):
+        with pytest.raises(ParameterError):
+            WritePath("device", AccessTransistor(r_on=1000.0))
+
+    def test_bad_access(self, eval_device):
+        with pytest.raises(ParameterError):
+            WritePath(eval_device, 1000.0)

@@ -1,0 +1,86 @@
+"""Tests for the energy barrier / thermal stability formulas (Eq. 5)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.constants import BOLTZMANN, MU0
+from repro.device import delta_factor, delta_with_stray, energy_barrier
+from repro.device.energy import activation_volume, state_sign
+from repro.errors import ParameterError
+
+H_RATIOS = st.floats(min_value=-0.5, max_value=0.5)
+
+
+class TestEnergyBarrier:
+    def test_formula(self):
+        ms, hk, vol = 1.1e6, 3.7e5, 7.3e-25
+        assert energy_barrier(ms, hk, vol) == pytest.approx(
+            0.5 * MU0 * ms * hk * vol)
+
+    def test_delta_factor(self):
+        ms, hk, vol, temp = 1.1e6, 3.7e5, 7.3e-25, 298.15
+        expected = energy_barrier(ms, hk, vol) / (BOLTZMANN * temp)
+        assert delta_factor(ms, hk, vol, temp) == pytest.approx(expected)
+
+    def test_delta_scales_inverse_temperature(self):
+        base = delta_factor(1.1e6, 3.7e5, 7.3e-25, 300.0)
+        assert delta_factor(1.1e6, 3.7e5, 7.3e-25, 600.0) == (
+            pytest.approx(base / 2))
+
+
+class TestStateSign:
+    def test_signs(self):
+        assert state_sign("P") == +1.0
+        assert state_sign("AP") == -1.0
+
+    def test_bad_state(self):
+        with pytest.raises(ParameterError):
+            state_sign("both")
+
+
+class TestDeltaWithStray:
+    def test_no_field_recovers_delta0(self):
+        assert delta_with_stray(45.5, 0.0, "P") == pytest.approx(45.5)
+        assert delta_with_stray(45.5, 0.0, "AP") == pytest.approx(45.5)
+
+    def test_negative_field_penalizes_p(self):
+        # Negative h (anti-parallel to RL, the measured situation):
+        # Delta_P shrinks, Delta_AP grows — paper Fig. 6a ordering.
+        h = -0.07
+        assert delta_with_stray(45.5, h, "P") < 45.5
+        assert delta_with_stray(45.5, h, "AP") > 45.5
+
+    def test_quadratic_law(self):
+        h = -0.07
+        assert delta_with_stray(45.5, h, "P") == pytest.approx(
+            45.5 * (1 - 0.07) ** 2)
+        assert delta_with_stray(45.5, h, "AP") == pytest.approx(
+            45.5 * (1 + 0.07) ** 2)
+
+    @given(H_RATIOS)
+    def test_product_of_states_exceeds_square(self, h):
+        # (1+h)^2 (1-h)^2 = (1-h^2)^2 <= 1: the stray field always reduces
+        # the geometric mean of the two barriers.
+        dp = delta_with_stray(45.5, h, "P")
+        dap = delta_with_stray(45.5, h, "AP")
+        assert dp * dap <= 45.5 ** 2 + 1e-9
+
+    @given(H_RATIOS)
+    def test_symmetry_under_field_reversal(self, h):
+        assert delta_with_stray(45.5, h, "P") == pytest.approx(
+            delta_with_stray(45.5, -h, "AP"))
+
+    def test_field_at_hk_rejected(self):
+        with pytest.raises(ParameterError):
+            delta_with_stray(45.5, 1.0, "P")
+
+
+class TestActivationVolume:
+    def test_scale(self):
+        assert activation_volume(2e-24, 0.38) == pytest.approx(0.76e-24)
+
+    def test_rejects_scale_above_one(self):
+        with pytest.raises(ParameterError):
+            activation_volume(2e-24, 1.2)

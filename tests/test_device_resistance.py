@@ -1,0 +1,85 @@
+"""Tests for the resistance / TMR / eCD model."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.device import ResistanceModel, ecd_from_rp, rp_from_ecd
+from repro.errors import ParameterError
+
+ECDS = st.floats(min_value=10e-9, max_value=300e-9)
+RAS = st.floats(min_value=1e-12, max_value=20e-12)
+
+
+@pytest.fixture
+def wafer_model():
+    # The measured wafer: RA = 4.5 Ohm*um^2, TMR0 = 120 %.
+    return ResistanceModel(ra=4.5e-12, tmr0=1.2, v_half=0.55)
+
+
+class TestEcdExtraction:
+    @given(ra=RAS, ecd=ECDS)
+    def test_roundtrip(self, ra, ecd):
+        rp = rp_from_ecd(ra, ecd)
+        assert ecd_from_rp(ra, rp) == pytest.approx(ecd, rel=1e-12)
+
+    def test_paper_example(self, wafer_model):
+        # The paper's Fig. 2a device: eCD = 55 nm at RA = 4.5 Ohm*um^2.
+        rp = wafer_model.rp(55e-9)
+        area_um2 = math.pi * (0.0275) ** 2
+        assert rp == pytest.approx(4.5 / area_um2, rel=1e-9)
+        assert ecd_from_rp(4.5e-12, rp) == pytest.approx(55e-9)
+
+    def test_smaller_device_higher_rp(self, wafer_model):
+        assert wafer_model.rp(35e-9) > wafer_model.rp(55e-9)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ParameterError):
+            rp_from_ecd(-1.0, 50e-9)
+        with pytest.raises(ParameterError):
+            ecd_from_rp(4.5e-12, 0.0)
+
+
+class TestTmrBias:
+    def test_zero_bias_value(self, wafer_model):
+        assert wafer_model.tmr(0.0) == pytest.approx(1.2)
+
+    def test_half_at_vhalf(self, wafer_model):
+        assert wafer_model.tmr(0.55) == pytest.approx(0.6)
+
+    def test_symmetric_in_sign(self, wafer_model):
+        assert wafer_model.tmr(0.3) == pytest.approx(wafer_model.tmr(-0.3))
+
+    def test_monotone_rolloff(self, wafer_model):
+        values = [wafer_model.tmr(v) for v in (0.0, 0.2, 0.5, 0.9, 1.2)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_rap_above_rp(self, wafer_model):
+        assert wafer_model.rap(55e-9, 1.0) > wafer_model.rp(55e-9)
+
+
+class TestResistanceDispatch:
+    def test_states(self, wafer_model):
+        assert wafer_model.resistance(55e-9, "P") == pytest.approx(
+            wafer_model.rp(55e-9))
+        assert wafer_model.resistance(55e-9, "AP", 0.0) == pytest.approx(
+            wafer_model.rap(55e-9, 0.0))
+
+    def test_bad_state(self, wafer_model):
+        with pytest.raises(ParameterError):
+            wafer_model.resistance(55e-9, "X")
+
+    def test_current_increases_with_voltage(self, wafer_model):
+        # Even with TMR roll-off, I(V) must be monotone for the AP branch.
+        currents = [wafer_model.current(35e-9, "AP", v)
+                    for v in (0.2, 0.5, 0.8, 1.1)]
+        assert all(a < b for a, b in zip(currents, currents[1:]))
+
+    @given(ecd=ECDS, voltage=st.floats(min_value=0.01, max_value=1.5))
+    def test_rap_between_bounds(self, ecd, voltage):
+        model = ResistanceModel(ra=6.4e-12, tmr0=1.5, v_half=0.55)
+        rap = model.rap(ecd, voltage)
+        assert model.rp(ecd) < rap <= model.rap(ecd, 0.0)

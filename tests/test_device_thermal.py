@@ -1,0 +1,63 @@
+"""Tests for the temperature scaling of Ms/Hk/Delta."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.device import ThermalModel
+from repro.materials import COFEB_FREE
+from repro.units import celsius_to_kelvin
+
+
+@pytest.fixture
+def model():
+    return ThermalModel(material=COFEB_FREE)
+
+
+class TestRatios:
+    def test_unity_at_reference(self, model):
+        t_ref = model.reference_temperature
+        assert model.ms_ratio(t_ref) == pytest.approx(1.0)
+        assert model.hk_ratio(t_ref) == pytest.approx(1.0)
+        assert model.delta_ratio(t_ref) == pytest.approx(1.0)
+
+    def test_all_decrease_with_temperature(self, model):
+        hot = celsius_to_kelvin(150.0)
+        assert model.ms_ratio(hot) < 1.0
+        assert model.hk_ratio(hot) < 1.0
+        assert model.delta_ratio(hot) < model.ms_ratio(hot)
+
+    def test_delta_combines_three_effects(self, model):
+        t = celsius_to_kelvin(100.0)
+        expected = (model.ms_ratio(t) * model.hk_ratio(t)
+                    * model.reference_temperature / t)
+        assert model.delta_ratio(t) == pytest.approx(expected)
+
+    def test_hk_exponent(self):
+        strong = ThermalModel(material=COFEB_FREE, hk_exponent=2.0)
+        weak = ThermalModel(material=COFEB_FREE, hk_exponent=0.5)
+        t = celsius_to_kelvin(150.0)
+        assert strong.hk_ratio(t) < weak.hk_ratio(t)
+
+
+class TestPaperSlope:
+    def test_delta0_at_150c(self, model):
+        """The paper's Fig. 6: Delta0 = 45.5 at 25 C drops to ~27 at 150 C."""
+        value = model.delta0_at(45.5, celsius_to_kelvin(150.0))
+        assert 24.0 < value < 30.0
+
+    def test_delta0_at_0c(self, model):
+        value = model.delta0_at(45.5, celsius_to_kelvin(0.0))
+        assert 47.0 < value < 52.0
+
+
+class TestScaledValues:
+    def test_ms_at(self, model):
+        t = celsius_to_kelvin(100.0)
+        assert model.ms_at(1.1e6, t) == pytest.approx(
+            1.1e6 * model.ms_ratio(t))
+
+    def test_hk_at(self, model):
+        t = celsius_to_kelvin(100.0)
+        assert model.hk_at(3.7e5, t) == pytest.approx(
+            3.7e5 * model.hk_ratio(t))

@@ -1,0 +1,121 @@
+"""Tests for the figure-reproduction experiments.
+
+Each experiment must run, produce a well-formed result, and satisfy every
+paper-vs-measured criterion it declares — these are the headline
+reproduction checks of the repository.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentResult,
+    render,
+    synthetic_intra_dataset,
+)
+from repro.experiments import runner
+from repro.experiments import (
+    fig2a,
+    fig2b,
+    fig3c,
+    fig3d,
+    fig4a,
+    fig4b,
+    fig4c,
+    fig5,
+    fig6a,
+    fig6b,
+)
+
+pytestmark = pytest.mark.integration
+
+
+@pytest.fixture(scope="module")
+def all_results():
+    return {name: module.run()
+            for name, module in runner.EXPERIMENTS.items()}
+
+
+class TestAllExperiments:
+    def test_every_experiment_passes(self, all_results):
+        failed = {
+            name: [c.metric for c in result.comparisons if not c.passed]
+            for name, result in all_results.items()
+            if not result.all_passed
+        }
+        assert not failed, f"failing criteria: {failed}"
+
+    def test_result_structure(self, all_results):
+        for name, result in all_results.items():
+            assert isinstance(result, ExperimentResult)
+            assert result.experiment_id == name
+            assert result.rows, name
+            assert result.headers, name
+            for row in result.rows:
+                assert len(row) == len(result.headers), name
+
+    def test_series_well_formed(self, all_results):
+        for name, result in all_results.items():
+            for series_name, (x, y) in result.series.items():
+                x = np.asarray(x, dtype=float)
+                y = np.asarray(y, dtype=float)
+                assert x.shape == y.shape, (name, series_name)
+
+    def test_render_smoke(self, all_results):
+        for result in all_results.values():
+            text = render(result)
+            assert result.experiment_id in text
+            assert "paper vs measured" in text
+
+
+class TestSyntheticDataset:
+    def test_deterministic(self):
+        a = synthetic_intra_dataset(seed=99)
+        b = synthetic_intra_dataset(seed=99)
+        assert a.hz_mean == b.hz_mean
+
+    def test_different_seeds_differ(self):
+        a = synthetic_intra_dataset(seed=1)
+        b = synthetic_intra_dataset(seed=2)
+        assert a.hz_mean != b.hz_mean
+
+    def test_structure(self):
+        ds = synthetic_intra_dataset()
+        assert len(ds.ecds) == 5
+        assert len(ds.hz_devices[0]) == 10
+        assert all(std > 0 for std in ds.hz_std)
+
+
+class TestSpecificAnchors:
+    def test_fig2a_extraction(self, all_results):
+        rows = dict((r[0], r[1]) for r in all_results["fig2a"].rows)
+        assert rows["Hsw_p"] > 0 > rows["Hsw_n"]
+        assert rows["Hoffset"] > 0
+
+    def test_fig4a_table_span(self, all_results):
+        table = all_results["fig4a"].extras["class_table_oe"]
+        assert table[(0, 0)] < 0 < table[(4, 4)]
+
+    def test_fig4b_thresholds_ordered(self, all_results):
+        thresholds = all_results["fig4b"].extras["thresholds_nm"]
+        # Larger devices need larger pitch for the same Psi.
+        assert thresholds[20.0] < thresholds[35.0] < thresholds[55.0]
+
+    def test_fig5_psi_values(self, all_results):
+        psi = all_results["fig5"].extras["psi"]
+        assert psi[1.5] > psi[2.0] > psi[3.0]
+
+    def test_fig6b_marginal_degradation(self, all_results):
+        assert 0 <= all_results["fig6b"].extras[
+            "degradation_at_25c"] < 5.0
+
+
+class TestRunnerExport:
+    def test_export_writes_files(self, tmp_path, all_results):
+        result = all_results["fig4a"]
+        runner.export(result, str(tmp_path))
+        assert (tmp_path / "fig4a.csv").exists()
+        assert (tmp_path / "fig4a_comparison.csv").exists()
+        assert (tmp_path / "fig4a_series.json").exists()

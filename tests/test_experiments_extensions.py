@@ -1,0 +1,89 @@
+"""Tests for the extension experiments and temperature-scaled coupling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arrays.coupling import InterCellCoupling
+from repro.core.intra import IntraCellModel
+from repro.experiments import runner
+from repro.experiments import ext_neighborhood, ext_temperature, ext_wer
+from repro.stack import build_reference_stack
+from repro.units import celsius_to_kelvin, nm_to_m
+
+pytestmark = pytest.mark.integration
+
+
+class TestExtensionExperiments:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return {name: module.run()
+                for name, module in runner.EXTENSIONS.items()}
+
+    def test_all_extensions_pass(self, results):
+        failed = {
+            name: [c.metric for c in r.comparisons if not c.passed]
+            for name, r in results.items() if not r.all_passed
+        }
+        assert not failed, f"failing criteria: {failed}"
+
+    def test_registered_in_runner(self):
+        assert set(runner.EXTENSIONS) == {
+            "ext_neighborhood", "ext_random_data", "ext_temperature",
+            "ext_wer"}
+        combined = runner.run_all(include_extensions=True)
+        assert len(combined) == len(runner.EXPERIMENTS) + 4
+
+    def test_truncation_error_value(self, results):
+        trunc = results["ext_neighborhood"].extras[
+            "truncation_by_pitch"][90.0]
+        # The headline extension finding: the 3x3 window misses ~25 %.
+        assert trunc == pytest.approx(0.26, abs=0.08)
+
+    def test_wer_penalty_ordering(self, results):
+        penalties = results["ext_wer"].extras["penalties_ns"]
+        assert penalties[1.5] > penalties[2.0] > penalties[3.0] > 0
+
+    def test_temperature_correction_small_positive(self, results):
+        extras = results["ext_temperature"].extras
+        assert 0.0 < extras["relative_correction_at_hot"] < 0.05
+
+    def test_random_data_overestimates_ordered(self, results):
+        over = results["ext_random_data"].extras["overestimates"]
+        assert over[1.5] > over[2.0] > over[3.0] >= 1.0
+
+
+class TestTemperatureScaledCoupling:
+    def test_intra_field_weakens_when_hot(self):
+        model = IntraCellModel()
+        room = model.hz_at_center(nm_to_m(35.0))
+        hot = model.hz_at_center(nm_to_m(35.0),
+                                 temperature=celsius_to_kelvin(150.0))
+        assert abs(hot) < abs(room)
+        assert np.sign(hot) == np.sign(room)
+
+    def test_intra_field_strengthens_when_cold(self):
+        model = IntraCellModel()
+        room = model.hz_at_center(nm_to_m(35.0))
+        cold = model.hz_at_center(nm_to_m(35.0),
+                                  temperature=celsius_to_kelvin(0.0))
+        assert abs(cold) > abs(room)
+
+    def test_inter_variation_weakens_when_hot(self):
+        stack = build_reference_stack(nm_to_m(55.0))
+        room = InterCellCoupling(stack, nm_to_m(90.0)).max_variation()
+        hot = InterCellCoupling(
+            stack, nm_to_m(90.0),
+            temperature=celsius_to_kelvin(150.0)).max_variation()
+        assert hot < room
+
+    def test_default_matches_reference_temperature(self):
+        stack = build_reference_stack(nm_to_m(55.0))
+        default = InterCellCoupling(stack, nm_to_m(90.0)).kernels()
+        from repro.constants import ROOM_TEMPERATURE
+        at_ref = InterCellCoupling(
+            stack, nm_to_m(90.0),
+            temperature=ROOM_TEMPERATURE).kernels()
+        assert default.fl_direct == pytest.approx(at_ref.fl_direct,
+                                                  rel=1e-9)

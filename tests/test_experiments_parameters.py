@@ -1,0 +1,108 @@
+"""Robustness tests: figure generators under non-default parameters.
+
+Each experiment must remain internally consistent (not necessarily hit
+the paper anchors) when run at other sizes, seeds, ranges, and
+resolutions — a library user will call them that way.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig2a,
+    fig2b,
+    fig3c,
+    fig3d,
+    fig4a,
+    fig4b,
+    fig4c,
+    fig5,
+    fig6a,
+    fig6b,
+)
+
+pytestmark = pytest.mark.integration
+
+
+class TestFig2aVariants:
+    def test_other_device_size(self):
+        result = fig2a.run(ecd_nm=90.0)
+        rows = dict((r[0], r[1]) for r in result.rows)
+        assert rows["Hoffset"] > 0
+        # eCD extraction adapts to the size.
+        assert rows["eCD (from RP)"] == pytest.approx(90.0, abs=5.0)
+
+    def test_different_seeds_differ(self):
+        a = fig2a.run(seed=1)
+        b = fig2a.run(seed=2)
+        ra = dict((r[0], r[1]) for r in a.rows)
+        rb = dict((r[0], r[1]) for r in b.rows)
+        assert ra["Hsw_p"] != rb["Hsw_p"]
+
+    def test_coarser_sweep(self):
+        result = fig2a.run(n_points=400)
+        assert result.series["R(H) loop"][0].shape == (400,)
+
+
+class TestFig2bVariants:
+    def test_other_seed_still_calibrates(self):
+        result = fig2b.run(seed=7)
+        rmse = [c for c in result.comparisons
+                if "RMSE" in c.metric][0]
+        assert rmse.measured < 25.0
+
+    def test_curve_resolution(self):
+        result = fig2b.run(curve_points=11)
+        assert result.series["simulation"][0].shape == (11,)
+
+
+class TestFieldMapVariants:
+    def test_fig3c_other_size(self):
+        result = fig3c.run(ecd_nm=35.0, n_per_axis=7)
+        assert result.extras["field"].shape == (7 ** 3, 3)
+
+    def test_fig3d_resolution(self):
+        result = fig3d.run(n_points=21)
+        for name, (x, y) in result.series.items():
+            assert x.shape == (21,)
+
+
+class TestCouplingVariants:
+    def test_fig4a_other_geometry(self):
+        result = fig4a.run(ecd_nm=35.0, pitch_nm=70.0)
+        table = result.extras["class_table_oe"]
+        # Structure holds at any geometry even if anchors differ.
+        assert table[(0, 0)] < table[(4, 4)]
+        assert len(table) == 25
+
+    def test_fig4b_coarse(self):
+        result = fig4b.run(n_pitches=10)
+        thresholds = result.extras["thresholds_nm"]
+        assert thresholds[20.0] < thresholds[55.0]
+
+    def test_fig4c_narrow_range(self):
+        result = fig4c.run(pitch_min_nm=60.0, pitch_max_nm=120.0,
+                           n_pitches=7)
+        assert len(result.rows) == 7
+
+
+class TestImpactVariants:
+    def test_fig5_voltage_window(self):
+        result = fig5.run(v_min=0.85, v_max=1.1, n_voltages=6)
+        finite = [r for r in result.rows if np.isfinite(r[1])]
+        assert finite
+
+    def test_fig6a_temperature_window(self):
+        result = fig6a.run(t_min_c=25.0, t_max_c=125.0, n_temps=5)
+        assert result.rows[0][0] == pytest.approx(25.0)
+        assert result.rows[-1][0] == pytest.approx(125.0)
+
+    def test_fig6a_other_pitch(self):
+        result = fig6a.run(pitch_ratio=1.5)
+        assert result.extras["pitch_ratio"] == 1.5
+
+    def test_fig6b_resolution(self):
+        result = fig6b.run(n_temps=4)
+        assert len(result.rows) == 4

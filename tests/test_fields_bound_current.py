@@ -1,0 +1,97 @@
+"""Tests for the bound-current reduction of magnetized layers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.fields import bound_current, layer_to_loops
+from repro.fields.bound_current import auto_subloops
+from repro.geometry import Layer, LayerRole
+from repro.materials import COFEB_FREE, MGO
+
+
+@pytest.fixture
+def fl_layer():
+    return Layer(role=LayerRole.FREE, material=COFEB_FREE,
+                 z_bottom=-1e-9, z_top=1e-9, direction=+1)
+
+
+class TestBoundCurrent:
+    def test_ib_equals_ms_t(self):
+        assert bound_current(1.1e6, 2e-9) == pytest.approx(2.2e-3)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ParameterError):
+            bound_current(0.0, 2e-9)
+
+
+class TestAutoSubloops:
+    def test_half_nm_spacing(self):
+        assert auto_subloops(2.0e-9) == 4
+        assert auto_subloops(0.3e-9) == 1
+        assert auto_subloops(4.0e-9) == 8
+
+
+class TestLayerToLoops:
+    def test_total_current_conserved(self, fl_layer):
+        loops = layer_to_loops(fl_layer, 17.5e-9, n_sub=5)
+        total = sum(lp.current for lp in loops)
+        assert total == pytest.approx(fl_layer.moment_per_area)
+
+    def test_loops_span_thickness(self, fl_layer):
+        loops = layer_to_loops(fl_layer, 17.5e-9, n_sub=4)
+        zs = [lp.center[2] for lp in loops]
+        assert min(zs) > fl_layer.z_bottom
+        assert max(zs) < fl_layer.z_top
+        # Slab centers are evenly spaced.
+        np.testing.assert_allclose(np.diff(sorted(zs)),
+                                   fl_layer.thickness / 4)
+
+    def test_direction_override_flips_sign(self, fl_layer):
+        plus = layer_to_loops(fl_layer, 17.5e-9, n_sub=2, direction=+1)
+        minus = layer_to_loops(fl_layer, 17.5e-9, n_sub=2, direction=-1)
+        for a, b in zip(plus, minus):
+            assert a.current == pytest.approx(-b.current)
+
+    def test_lateral_center(self, fl_layer):
+        loops = layer_to_loops(fl_layer, 17.5e-9,
+                               center_xy=(90e-9, -90e-9), n_sub=1)
+        assert loops[0].center[0] == pytest.approx(90e-9)
+        assert loops[0].center[1] == pytest.approx(-90e-9)
+
+    def test_temperature_scales_current(self, fl_layer):
+        cold = layer_to_loops(fl_layer, 17.5e-9, n_sub=1)
+        hot = layer_to_loops(fl_layer, 17.5e-9, n_sub=1,
+                             temperature=500.0)
+        assert abs(hot[0].current) < abs(cold[0].current)
+
+    def test_nonmagnetic_rejected(self):
+        barrier = Layer(role=LayerRole.BARRIER, material=MGO,
+                        z_bottom=-2e-9, z_top=-1e-9)
+        with pytest.raises(ParameterError):
+            layer_to_loops(barrier, 17.5e-9)
+
+    def test_bad_direction_rejected(self, fl_layer):
+        with pytest.raises(ParameterError):
+            layer_to_loops(fl_layer, 17.5e-9, direction=0)
+
+    def test_solenoid_beats_midplane_lump_close_up(self, fl_layer):
+        """A thick layer lumped at its midplane misestimates near fields.
+
+        The sub-loop discretization must converge: 8 sub-loops vs 64
+        sub-loops agree much better than 1 vs 64.
+        """
+        from repro.fields import LoopCollection
+        thick = Layer(role=LayerRole.HARD,
+                      material=COFEB_FREE.with_ms(6e5),
+                      z_bottom=-9.5e-9, z_top=-5.5e-9, direction=-1)
+        point = (0.0, 0.0, 0.0)
+        reference = LoopCollection(
+            layer_to_loops(thick, 10e-9, n_sub=64)).field(point)[2]
+        lumped = LoopCollection(
+            layer_to_loops(thick, 10e-9, n_sub=1)).field(point)[2]
+        refined = LoopCollection(
+            layer_to_loops(thick, 10e-9, n_sub=8)).field(point)[2]
+        assert abs(refined - reference) < 0.1 * abs(lumped - reference)

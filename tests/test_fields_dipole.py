@@ -1,0 +1,69 @@
+"""Tests for the point-dipole model and the far-field limit."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fields import (
+    CurrentLoop,
+    dipole_field,
+    loop_as_dipole,
+)
+
+
+class TestDipoleFormula:
+    def test_on_axis_value(self):
+        # On the dipole axis: Hz = 2m / (4 pi r^3).
+        m, r = 1e-18, 50e-9
+        field = dipole_field(m, np.array([0.0, 0.0, r]))
+        assert field[2] == pytest.approx(2 * m / (4 * np.pi * r ** 3))
+        assert field[0] == pytest.approx(0.0, abs=1e-6)
+
+    def test_equatorial_value(self):
+        # In the equatorial plane: Hz = -m / (4 pi r^3).
+        m, r = 1e-18, 50e-9
+        field = dipole_field(m, np.array([r, 0.0, 0.0]))
+        assert field[2] == pytest.approx(-m / (4 * np.pi * r ** 3))
+
+    def test_inverse_cube_scaling(self):
+        m = 1e-18
+        h1 = dipole_field(m, np.array([50e-9, 0.0, 0.0]))[2]
+        h2 = dipole_field(m, np.array([100e-9, 0.0, 0.0]))[2]
+        assert h1 / h2 == pytest.approx(8.0, rel=1e-12)
+
+    def test_position_offset(self):
+        m = 1e-18
+        centered = dipole_field(m, np.array([70e-9, 0.0, 0.0]))
+        shifted = dipole_field(m, np.array([80e-9, 0.0, 0.0]),
+                               position=(10e-9, 0.0, 0.0))
+        np.testing.assert_allclose(shifted, centered, rtol=1e-12)
+
+    def test_sign_flip_with_moment(self):
+        up = dipole_field(1e-18, np.array([50e-9, 0.0, 20e-9]))
+        down = dipole_field(-1e-18, np.array([50e-9, 0.0, 20e-9]))
+        np.testing.assert_allclose(up, -down, rtol=1e-12)
+
+
+class TestFarFieldLimit:
+    def test_loop_converges_to_dipole(self):
+        loop = CurrentLoop(center=(0.0, 0.0, 0.0), radius=15e-9,
+                           current=2e-3)
+        moment = loop_as_dipole(loop.current, loop.radius)
+        assert moment == pytest.approx(loop.moment)
+        for factor, tol in ((3.0, 0.06), (6.0, 0.016), (12.0, 0.004)):
+            point = np.array([factor * loop.radius * 2, 0.0, 0.0])
+            exact = loop.field(point)
+            approx = dipole_field(moment, point)
+            rel = np.linalg.norm(exact - approx) / np.linalg.norm(exact)
+            assert rel < tol, f"factor {factor}: rel error {rel}"
+
+    def test_neighbor_cell_distance_accuracy(self):
+        # At the paper's pitch (90 nm for a 55 nm cell) the dipole model is
+        # good to ~10 % — the fast-estimate regime used in analyses.
+        loop = CurrentLoop(center=(0.0, 0.0, 0.0), radius=27.5e-9,
+                           current=2.2e-3)
+        point = np.array([90e-9, 0.0, 0.0])
+        exact = loop.field(point)[2]
+        approx = dipole_field(loop.moment, point)[2]
+        assert abs(approx / exact - 1.0) < 0.12

@@ -1,0 +1,147 @@
+"""Tests for the loop field solvers: analytic vs discrete vs closed forms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ParameterError
+from repro.fields import (
+    loop_field_analytic,
+    loop_field_biot_savart,
+    loop_field_on_axis,
+    segment_loop,
+)
+
+RADII = st.floats(min_value=5e-9, max_value=100e-9)
+CURRENTS = st.floats(min_value=-5e-3, max_value=5e-3,
+                     allow_nan=False).filter(lambda i: abs(i) > 1e-6)
+
+
+class TestOnAxis:
+    def test_center_value(self):
+        # Hz(0) = I / (2 R).
+        current, radius = 2e-3, 20e-9
+        assert loop_field_on_axis(current, radius, 0.0) == pytest.approx(
+            current / (2 * radius))
+
+    def test_symmetry_in_z(self):
+        h_up = loop_field_on_axis(1e-3, 20e-9, 5e-9)
+        h_down = loop_field_on_axis(1e-3, 20e-9, -5e-9)
+        assert h_up == pytest.approx(h_down)
+
+    def test_sign_follows_current(self):
+        assert loop_field_on_axis(1e-3, 20e-9, 0.0) > 0
+        assert loop_field_on_axis(-1e-3, 20e-9, 0.0) < 0
+
+    def test_analytic_matches_on_axis_formula(self):
+        current, radius = 1.3e-3, 30e-9
+        zs = np.array([-20e-9, 0.0, 7e-9, 50e-9])
+        pts = np.stack([np.zeros_like(zs), np.zeros_like(zs), zs], axis=1)
+        field = loop_field_analytic(current, radius, pts)
+        np.testing.assert_allclose(
+            field[:, 2], loop_field_on_axis(current, radius, zs),
+            rtol=1e-10)
+        np.testing.assert_allclose(field[:, :2], 0.0, atol=1e-6)
+
+
+class TestAnalyticVsBiotSavart:
+    @settings(max_examples=25, deadline=None)
+    @given(radius=RADII, current=CURRENTS,
+           rho_frac=st.floats(min_value=0.0, max_value=2.5),
+           z_frac=st.floats(min_value=-2.0, max_value=2.0),
+           phi=st.floats(min_value=0.0, max_value=6.28))
+    def test_agreement_off_wire(self, radius, current, rho_frac, z_frac,
+                                phi):
+        # Stay away from the wire singularity at (rho=R, z=0).
+        if abs(rho_frac - 1.0) < 0.2 and abs(z_frac) < 0.2:
+            z_frac += 0.5
+        point = np.array([
+            rho_frac * radius * np.cos(phi),
+            rho_frac * radius * np.sin(phi),
+            z_frac * radius,
+        ])
+        exact = loop_field_analytic(current, radius, point)
+        discrete = loop_field_biot_savart(current, radius, point,
+                                          n_segments=3000)
+        scale = np.linalg.norm(exact) + abs(current) / radius * 1e-6
+        np.testing.assert_allclose(discrete, exact, atol=2e-4 * scale,
+                                   rtol=2e-4)
+
+    def test_convergence_order(self):
+        # Error decreases as the segment count grows.
+        point = np.array([10e-9, 5e-9, 8e-9])
+        exact = loop_field_analytic(1e-3, 25e-9, point)
+        errors = []
+        for n in (60, 240, 960):
+            approx = loop_field_biot_savart(1e-3, 25e-9, point,
+                                            n_segments=n)
+            errors.append(np.linalg.norm(approx - exact))
+        assert errors[0] > errors[1] > errors[2]
+        # Roughly second-order: x4 segments -> ~x16 error drop.
+        assert errors[0] / errors[1] > 8.0
+
+
+class TestAnalyticStructure:
+    def test_field_inside_loop_parallel_to_moment(self):
+        # Just above the loop plane, inside the radius: Hz has the sign of
+        # the current (field parallel to the magnetization it represents).
+        field = loop_field_analytic(
+            2e-3, 20e-9, np.array([5e-9, 0.0, 2e-9]))
+        assert field[2] > 0
+
+    def test_field_outside_loop_reversed(self):
+        # In the loop plane, outside the radius: Hz flips sign (return
+        # flux).
+        field = loop_field_analytic(
+            2e-3, 20e-9, np.array([60e-9, 0.0, 0.0]))
+        assert field[2] < 0
+
+    def test_radial_component_antisymmetric_in_z(self):
+        up = loop_field_analytic(1e-3, 20e-9,
+                                 np.array([10e-9, 0.0, 4e-9]))
+        down = loop_field_analytic(1e-3, 20e-9,
+                                   np.array([10e-9, 0.0, -4e-9]))
+        assert up[0] == pytest.approx(-down[0], rel=1e-9)
+        assert up[2] == pytest.approx(down[2], rel=1e-9)
+
+    def test_rotational_symmetry(self):
+        r, z = 12e-9, 6e-9
+        a = loop_field_analytic(1e-3, 20e-9, np.array([r, 0.0, z]))
+        b = loop_field_analytic(1e-3, 20e-9, np.array([0.0, r, z]))
+        assert a[2] == pytest.approx(b[2], rel=1e-12)
+        assert a[0] == pytest.approx(b[1], rel=1e-12)
+
+    def test_zero_current_zero_field(self):
+        field = loop_field_analytic(0.0, 20e-9,
+                                    np.array([10e-9, 0.0, 4e-9]))
+        np.testing.assert_allclose(field, 0.0)
+
+    def test_single_point_shape(self):
+        out = loop_field_analytic(1e-3, 20e-9, (0.0, 0.0, 1e-9))
+        assert out.shape == (3,)
+
+    def test_bad_points_shape_rejected(self):
+        with pytest.raises(ParameterError):
+            loop_field_analytic(1e-3, 20e-9, np.zeros((3, 2)))
+
+
+class TestSegmentLoop:
+    def test_closed_polygon(self):
+        midpoints, dl = segment_loop(20e-9, 100)
+        np.testing.assert_allclose(np.sum(dl, axis=0), 0.0, atol=1e-22)
+
+    def test_perimeter(self):
+        _, dl = segment_loop(20e-9, 2000)
+        perimeter = np.sum(np.linalg.norm(dl, axis=1))
+        assert perimeter == pytest.approx(2 * np.pi * 20e-9, rel=1e-5)
+
+    def test_center_offset(self):
+        midpoints, _ = segment_loop(20e-9, 64, center=(5e-9, -3e-9, 7e-9))
+        np.testing.assert_allclose(
+            np.mean(midpoints, axis=0), [5e-9, -3e-9, 7e-9], atol=1e-15)
+
+    def test_minimum_segments(self):
+        with pytest.raises(ParameterError):
+            segment_loop(20e-9, 2)

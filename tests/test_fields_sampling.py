@@ -1,0 +1,83 @@
+"""Tests for the spatial sampling helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.fields import disk_average, grid3d, radial_line
+from repro.fields.sampling import disk_quadrature
+
+
+class TestRadialLine:
+    def test_center_included_for_odd_counts(self):
+        positions, points = radial_line(20e-9, n_points=11)
+        assert positions[5] == pytest.approx(0.0)
+        np.testing.assert_allclose(points[5], 0.0, atol=1e-20)
+
+    def test_extent(self):
+        positions, _ = radial_line(20e-9, n_points=5, margin=0.8)
+        assert positions[0] == pytest.approx(-16e-9)
+        assert positions[-1] == pytest.approx(16e-9)
+
+    def test_plane_height(self):
+        _, points = radial_line(20e-9, n_points=3, z=4e-9)
+        np.testing.assert_allclose(points[:, 2], 4e-9)
+
+    def test_minimum_points(self):
+        with pytest.raises(ParameterError):
+            radial_line(20e-9, n_points=1)
+
+
+class TestGrid3d:
+    def test_shape(self):
+        points, shape = grid3d(50e-9, n_per_axis=5)
+        assert shape == (5, 5, 5)
+        assert points.shape == (125, 3)
+
+    def test_extent_and_zrange(self):
+        points, _ = grid3d(50e-9, n_per_axis=3, z_range=(-10e-9, 20e-9))
+        assert points[:, 0].min() == pytest.approx(-50e-9)
+        assert points[:, 0].max() == pytest.approx(50e-9)
+        assert points[:, 2].min() == pytest.approx(-10e-9)
+        assert points[:, 2].max() == pytest.approx(20e-9)
+
+
+class TestDiskQuadrature:
+    def test_weights_normalized(self):
+        _, weights = disk_quadrature(20e-9, n_radial=6, n_angular=12)
+        assert np.sum(weights) == pytest.approx(1.0)
+
+    def test_points_inside_disk(self):
+        points, _ = disk_quadrature(20e-9)
+        r = np.hypot(points[:, 0], points[:, 1])
+        assert np.all(r < 20e-9)
+
+    def test_average_of_constant_field(self):
+        avg = disk_average(
+            lambda pts: np.tile([1.0, -2.0, 3.0], (pts.shape[0], 1)),
+            radius=20e-9)
+        np.testing.assert_allclose(avg, [1.0, -2.0, 3.0], rtol=1e-12)
+
+    def test_average_of_linear_field_is_center_value(self):
+        # For H = c * x the disk average vanishes by symmetry.
+        avg = disk_average(
+            lambda pts: np.stack(
+                [pts[:, 0] * 1e9, np.zeros(pts.shape[0]),
+                 np.zeros(pts.shape[0])], axis=1),
+            radius=20e-9)
+        assert abs(avg[0]) < 1e-12
+
+    def test_average_of_quadratic_profile(self):
+        # For Hz = r^2 the exact disk average is R^2/2.
+        radius = 20e-9
+
+        def field(pts):
+            r2 = pts[:, 0] ** 2 + pts[:, 1] ** 2
+            return np.stack([np.zeros_like(r2), np.zeros_like(r2), r2],
+                            axis=1)
+
+        avg = disk_average(field, radius=radius, n_radial=32,
+                           n_angular=8)
+        assert avg[2] == pytest.approx(radius ** 2 / 2, rel=1e-3)

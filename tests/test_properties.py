@@ -1,0 +1,159 @@
+"""Cross-module property-based tests (hypothesis).
+
+Invariants that tie the physics models together, checked over randomized
+parameter ranges rather than single anchor points.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.device import MTJDevice, PAPER_EVAL_DEVICE
+from repro.device.energy import delta_with_stray
+from repro.device.switching import critical_current
+from repro.fields import (
+    CurrentLoop,
+    LoopCollection,
+    dipole_field,
+    loop_field_analytic,
+)
+from repro.units import am_to_oe, oe_to_am
+
+H_RATIOS = st.floats(min_value=-0.3, max_value=0.3)
+RADII = st.floats(min_value=8e-9, max_value=60e-9)
+CURRENTS = st.floats(min_value=-4e-3, max_value=4e-3).filter(
+    lambda c: abs(c) > 1e-5)
+VOLTAGES = st.floats(min_value=0.8, max_value=1.2)
+
+
+class TestSwitchingIdentities:
+    @given(H_RATIOS)
+    def test_ic_directions_sum_to_twice_intrinsic(self, h):
+        """Eq. 2: Ic(P->AP) + Ic(AP->P) = 2 Ic0 for any stray field."""
+        ic0 = 57.2e-6
+        total = (critical_current(ic0, h, "P->AP")
+                 + critical_current(ic0, h, "AP->P"))
+        assert total == pytest.approx(2 * ic0, rel=1e-12)
+
+    @given(H_RATIOS)
+    def test_delta_geometric_mean_bounded(self, h):
+        """Eq. 5: sqrt(Delta_P * Delta_AP) = Delta0 (1 - h^2) <= Delta0."""
+        d0 = 45.5
+        dp = delta_with_stray(d0, h, "P")
+        dap = delta_with_stray(d0, h, "AP")
+        assert math.sqrt(dp * dap) == pytest.approx(
+            d0 * (1 - h * h), rel=1e-12)
+
+    @given(H_RATIOS, H_RATIOS)
+    def test_ic_monotone_in_stray_field(self, h1, h2):
+        """More positive field -> easier AP->P, harder P->AP."""
+        ic0 = 57.2e-6
+        lo, hi = min(h1, h2), max(h1, h2)
+        assert (critical_current(ic0, hi, "AP->P")
+                <= critical_current(ic0, lo, "AP->P") + 1e-18)
+        assert (critical_current(ic0, hi, "P->AP")
+                >= critical_current(ic0, lo, "P->AP") - 1e-18)
+
+    @settings(max_examples=20, deadline=None)
+    @given(VOLTAGES, H_RATIOS)
+    def test_wer_mean_consistency(self, vp, h):
+        """The WER model's mean switching time equals Sun's tw exactly."""
+        from repro.apps import WriteErrorModel
+        device = MTJDevice(PAPER_EVAL_DEVICE)
+        model = WriteErrorModel(device)
+        hz = h * device.params.hk
+        tw = device.switching_time(vp, hz)
+        if not math.isfinite(tw):
+            return
+        assert model.mean_switching_time(vp, hz) == pytest.approx(
+            tw, rel=1e-12)
+
+
+class TestFieldLinearity:
+    @settings(max_examples=25, deadline=None)
+    @given(RADII, CURRENTS, st.floats(min_value=0.2, max_value=4.0))
+    def test_field_linear_in_current(self, radius, current, scale):
+        point = np.array([1.7 * radius, 0.3 * radius, 0.4 * radius])
+        base = loop_field_analytic(current, radius, point)
+        scaled = loop_field_analytic(current * scale, radius, point)
+        np.testing.assert_allclose(scaled, scale * base, rtol=1e-9,
+                                   atol=1e-12)
+
+    @settings(max_examples=25, deadline=None)
+    @given(RADII, CURRENTS)
+    def test_superposition_commutes(self, radius, current):
+        a = CurrentLoop((0.0, 0.0, 0.0), radius, current)
+        b = CurrentLoop((3 * radius, 0.0, 0.0), radius, -0.5 * current)
+        point = np.array([[1.2 * radius, radius, 0.5 * radius]])
+        ab = LoopCollection([a, b]).field(point)
+        ba = LoopCollection([b, a]).field(point)
+        np.testing.assert_allclose(ab, ba, rtol=1e-12)
+
+    @settings(max_examples=20, deadline=None)
+    @given(RADII, CURRENTS,
+           st.floats(min_value=4.0, max_value=12.0))
+    def test_far_field_is_dipolar(self, radius, current, distance_ratio):
+        loop = CurrentLoop((0.0, 0.0, 0.0), radius, current)
+        point = np.array([distance_ratio * radius, 0.0,
+                          0.5 * radius])
+        exact = loop.field(point)
+        approx = dipole_field(loop.moment, point)
+        rel = (np.linalg.norm(exact - approx)
+               / max(np.linalg.norm(exact), 1e-30))
+        assert rel < 0.12
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.floats(min_value=-0.8, max_value=0.8),
+           st.floats(min_value=-0.8, max_value=0.8))
+    def test_mirror_symmetry_across_loop_plane(self, x_frac, y_frac):
+        radius = 20e-9
+        loop = CurrentLoop((0.0, 0.0, 0.0), radius, 1e-3)
+        above = loop.field(np.array(
+            [x_frac * radius, y_frac * radius, 0.35 * radius]))
+        below = loop.field(np.array(
+            [x_frac * radius, y_frac * radius, -0.35 * radius]))
+        # Hz even, in-plane components odd across the loop plane.
+        assert above[2] == pytest.approx(below[2], rel=1e-9)
+        assert above[0] == pytest.approx(-below[0], rel=1e-9,
+                                         abs=1e-12)
+        assert above[1] == pytest.approx(-below[1], rel=1e-9,
+                                         abs=1e-12)
+
+
+class TestCouplingAlgebra:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=255),
+           st.integers(min_value=0, max_value=3))
+    def test_single_bit_flip_step(self, np8, direct_bit):
+        """Flipping one direct neighbor moves Hz by exactly the direct
+        step, regardless of the rest of the pattern (linearity)."""
+        from repro.arrays import InterCellCoupling, NeighborhoodPattern
+        from repro.stack import build_reference_stack
+        coupling = InterCellCoupling(build_reference_stack(55e-9),
+                                     90e-9)
+        pattern = NeighborhoodPattern.from_int(np8)
+        flipped_bits = list(pattern.bits)
+        flipped_bits[direct_bit] = 1 - flipped_bits[direct_bit]
+        flipped = NeighborhoodPattern(tuple(flipped_bits))
+        step = abs(coupling.hz_inter_fast(flipped)
+                   - coupling.hz_inter_fast(pattern))
+        expected = 2 * abs(coupling.kernels().fl_direct)
+        assert step == pytest.approx(expected, rel=1e-9)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.floats(min_value=55.0, max_value=180.0))
+    def test_psi_scale_invariance_in_hc(self, pitch_nm):
+        """Psi is inversely proportional to Hc by definition."""
+        from repro.core.psi import coupling_factor
+        from repro.stack import build_reference_stack
+        from repro.units import nm_to_m
+        stack = build_reference_stack(35e-9)
+        psi_1 = coupling_factor(stack, nm_to_m(pitch_nm),
+                                oe_to_am(2200.0))
+        psi_2 = coupling_factor(stack, nm_to_m(pitch_nm),
+                                oe_to_am(1100.0))
+        assert psi_2 == pytest.approx(2 * psi_1, rel=1e-12)

@@ -1,0 +1,115 @@
+"""Tests for tables, ASCII plots, and exports."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.reporting import ascii_plot, format_table, write_csv, write_json
+
+
+class TestFormatTable:
+    def test_alignment_and_rule(self):
+        out = format_table(["name", "value"],
+                           [("a", 1.0), ("long-name", 2.5)])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert set(lines[1].strip()) <= {"-", " "}
+        widths = [len(line) for line in lines]
+        assert len(set(widths)) == 1  # all rows aligned.
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [(3.14159265,)], float_format=".2f")
+        assert "3.14" in out
+        assert "3.1415" not in out
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ParameterError):
+            format_table(["a", "b"], [(1,)])
+
+    def test_indent(self):
+        out = format_table(["a"], [(1,)], indent="  ")
+        assert all(line.startswith("  ") for line in out.splitlines())
+
+
+class TestAsciiPlot:
+    def test_contains_markers_and_legend(self):
+        x = np.linspace(0, 10, 20)
+        out = ascii_plot({"rise": (x, x), "fall": (x, 10 - x)})
+        assert "*" in out
+        assert "o" in out
+        assert "legend" in out
+        assert "rise" in out and "fall" in out
+
+    def test_axis_labels(self):
+        x = np.linspace(0, 1, 5)
+        out = ascii_plot({"s": (x, x)}, x_label="pitch (nm)",
+                         y_label="Psi (%)")
+        assert "pitch (nm)" in out
+        assert "Psi (%)" in out
+
+    def test_log_scale(self):
+        x = np.linspace(1, 10, 10)
+        out = ascii_plot({"s": (x, 10.0 ** x)}, logy=True)
+        assert "(log10)" in out
+
+    def test_non_finite_values_skipped(self):
+        x = np.array([0.0, 1.0, 2.0])
+        y = np.array([1.0, np.inf, 3.0])
+        out = ascii_plot({"s": (x, y)})
+        assert "*" in out
+
+    def test_all_nan_rejected(self):
+        x = np.array([0.0, 1.0])
+        y = np.array([np.nan, np.nan])
+        with pytest.raises(ParameterError):
+            ascii_plot({"s": (x, y)})
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ParameterError):
+            ascii_plot({})
+
+    def test_too_small_plot_rejected(self):
+        x = np.array([0.0, 1.0])
+        with pytest.raises(ParameterError):
+            ascii_plot({"s": (x, x)}, width=5, height=3)
+
+    def test_constant_series_handled(self):
+        x = np.array([0.0, 1.0, 2.0])
+        y = np.zeros(3)
+        out = ascii_plot({"flat": (x, y)})
+        assert "*" in out
+
+
+class TestExport:
+    def test_csv_roundtrip(self, tmp_path):
+        path = tmp_path / "sub" / "table.csv"
+        write_csv(str(path), ["a", "b"], [(1, 2.5), (3, 4.5)])
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["a", "b"]
+        assert rows[1] == ["1", "2.5"]
+
+    def test_csv_row_mismatch(self, tmp_path):
+        with pytest.raises(ParameterError):
+            write_csv(str(tmp_path / "t.csv"), ["a", "b"], [(1,)])
+
+    def test_json_handles_numpy(self, tmp_path):
+        path = tmp_path / "out.json"
+        payload = {
+            "array": np.array([1.0, 2.0]),
+            "scalar": np.float64(3.5),
+            "nested": {"ints": np.arange(3)},
+            "tuple": (np.int32(1), 2),
+        }
+        write_json(str(path), payload)
+        with open(path) as handle:
+            loaded = json.load(handle)
+        assert loaded["array"] == [1.0, 2.0]
+        assert loaded["scalar"] == 3.5
+        assert loaded["nested"]["ints"] == [0, 1, 2]
+        assert loaded["tuple"] == [1, 2]

@@ -1,0 +1,60 @@
+"""Tests for the experiments runner CLI plumbing."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import runner
+from repro.experiments.base import Comparison, ExperimentResult
+
+pytestmark = pytest.mark.integration
+
+
+def make_result(passed=True):
+    return ExperimentResult(
+        experiment_id="figX",
+        title="synthetic",
+        headers=["a", "b"],
+        rows=[(1, 2.0), (3, 4.0)],
+        series={"s": ([0.0, 1.0], [1.0, 2.0])},
+        comparisons=[Comparison("m", 1.0, 1.0, passed, "n")],
+    )
+
+
+class TestRender:
+    def test_render_contains_sections(self):
+        text = runner.render(make_result())
+        assert "figX" in text
+        assert "paper vs measured" in text
+        assert "legend" in text  # the ascii plot rendered.
+
+    def test_render_truncates_rows(self):
+        result = make_result()
+        result.rows = [(i, float(i)) for i in range(30)]
+        text = runner.render(result, max_rows=5)
+        assert "25 more rows" in text
+
+    def test_render_without_plot(self):
+        text = runner.render(make_result(), plot=False)
+        assert "legend" not in text
+
+
+class TestExportAndStructure:
+    def test_export_files(self, tmp_path):
+        runner.export(make_result(), str(tmp_path))
+        assert (tmp_path / "figX.csv").exists()
+        assert (tmp_path / "figX_comparison.csv").exists()
+        assert (tmp_path / "figX_series.json").exists()
+
+    def test_experiments_registry_complete(self):
+        assert list(runner.EXPERIMENTS) == [
+            "fig2a", "fig2b", "fig3c", "fig3d", "fig4a", "fig4b",
+            "fig4c", "fig5", "fig6a", "fig6b"]
+
+    def test_comparison_rows(self):
+        result = make_result(passed=False)
+        headers, rows = result.comparison_table()
+        assert rows[0][3] == "DEVIATES"
+        assert not result.all_passed

@@ -1,0 +1,98 @@
+"""Tests for the parameter-validation guards."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro import validation as v
+
+
+class TestRequirePositive:
+    def test_accepts_positive(self):
+        assert v.require_positive(2.5, "x") == 2.5
+
+    @pytest.mark.parametrize("bad", [0, -1, -1e-30])
+    def test_rejects_non_positive(self, bad):
+        with pytest.raises(ParameterError, match="x"):
+            v.require_positive(bad, "x")
+
+    @pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+    def test_rejects_non_finite(self, bad):
+        with pytest.raises(ParameterError):
+            v.require_positive(bad, "x")
+
+    def test_rejects_non_number(self):
+        with pytest.raises(ParameterError):
+            v.require_positive("3", "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(ParameterError):
+            v.require_finite(True, "x")
+
+
+class TestRanges:
+    def test_inclusive_bounds(self):
+        assert v.require_in_range(0.0, "x", 0.0, 1.0) == 0.0
+        assert v.require_in_range(1.0, "x", 0.0, 1.0) == 1.0
+
+    def test_exclusive_bounds(self):
+        with pytest.raises(ParameterError):
+            v.require_in_range(0.0, "x", 0.0, 1.0, inclusive=False)
+
+    def test_fraction(self):
+        assert v.require_fraction(0.5, "x") == 0.5
+        with pytest.raises(ParameterError):
+            v.require_fraction(1.5, "x")
+
+    def test_non_negative(self):
+        assert v.require_non_negative(0.0, "x") == 0.0
+        with pytest.raises(ParameterError):
+            v.require_non_negative(-0.1, "x")
+
+
+class TestIntRange:
+    def test_accepts_int(self):
+        assert v.require_int_in_range(5, "n", 1, 10) == 5
+
+    def test_rejects_float(self):
+        with pytest.raises(ParameterError):
+            v.require_int_in_range(5.0, "n", 1, 10)
+
+    def test_rejects_bool(self):
+        with pytest.raises(ParameterError):
+            v.require_int_in_range(True, "n", 0, 10)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ParameterError):
+            v.require_int_in_range(11, "n", 1, 10)
+
+    def test_numpy_integer_accepted(self):
+        assert v.require_int_in_range(np.int64(7), "n", 1, 10) == 7
+
+
+class TestPointArray:
+    def test_single_point_promoted(self):
+        out = v.as_point_array((1.0, 2.0, 3.0))
+        assert out.shape == (1, 3)
+
+    def test_batch_passthrough(self):
+        pts = np.zeros((5, 3))
+        assert v.as_point_array(pts).shape == (5, 3)
+
+    def test_rejects_wrong_width(self):
+        with pytest.raises(ParameterError):
+            v.as_point_array(np.zeros((5, 2)))
+
+    def test_rejects_nan(self):
+        pts = np.zeros((2, 3))
+        pts[1, 2] = math.nan
+        with pytest.raises(ParameterError):
+            v.as_point_array(pts)
+
+    def test_rejects_scalar(self):
+        with pytest.raises(ParameterError):
+            v.as_point_array(3.0)
