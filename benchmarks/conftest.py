@@ -7,7 +7,24 @@ series (visible with ``pytest -s``).
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+
+def pytest_collection_modifyitems(items):
+    """Tag benchmark items with the ``bench`` marker.
+
+    The tier-1 suite (`python -m pytest`) collects ``tests/`` only (see
+    ``pyproject.toml``); the marker lets `-m bench` select or deselect
+    the benchmark suite when both paths are given explicitly. The hook
+    receives the whole session's items, so guard on the path — marking
+    everything would deselect the tier-1 suite under `-m "not bench"`.
+    """
+    bench_dir = os.path.dirname(__file__)
+    for item in items:
+        if str(item.path).startswith(bench_dir + os.sep):
+            item.add_marker(pytest.mark.bench)
 
 
 def print_result(result, max_rows=8):

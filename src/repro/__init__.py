@@ -14,11 +14,27 @@ Quick start::
     victim = VictimAnalysis(device, pitch=70e-9)
     print(victim.summary())
 
-See ``examples/`` for runnable scenarios and ``repro.experiments`` for the
-figure-by-figure reproduction of the paper's evaluation.
+Module map (device physics up to system questions):
+
+* :mod:`repro.device` — one MTJ cell: stack, resistance, switching,
+  retention, thermal scaling,
+* :mod:`repro.fields` — bound-current magnetostatics solver,
+* :mod:`repro.core` — the paper's intra/inter coupling models and Psi,
+* :mod:`repro.arrays` — layout, NP8 data patterns, inter-cell coupling
+  kernels, victim-cell analysis,
+* :mod:`repro.apps` — engineering analyses (write error, read disturb,
+  retention budget, design space, yield),
+* :mod:`repro.memsys` — system level: array controller, traffic,
+  Hamming SEC-DED, scrubbing, and the Monte-Carlo UBER engine — start
+  here for "what error rate does the *system* deliver" questions,
+* :mod:`repro.experiments` / :mod:`repro.reporting` — figure-by-figure
+  reproduction and rendering/export.
+
+See ``examples/`` for runnable scenarios and ``python -m repro.cli`` for
+the command-line front end.
 """
 
-from . import units
+from . import memsys, units
 from .apps import (
     ArrayYieldAnalysis,
     DesignSpaceExplorer,
@@ -92,6 +108,7 @@ __all__ = [
     "build_reference_stack",
     "coupling_factor",
     "fit_effective_moments",
+    "memsys",
     "psi_threshold_pitch",
     "psi_vs_pitch",
     "units",

@@ -11,6 +11,11 @@ raise, using the calibrated device/array models:
   process variation plus coupling,
 * :mod:`repro.apps.retention_budget` — scrub-interval and application-
   class budgeting from worst-case Delta.
+
+These analyses price one mechanism at a time at the device/array level;
+for the *system-level* composition — what UBER a coupled array delivers
+under read/write traffic with ECC and scrubbing — see
+:mod:`repro.memsys`, which consumes the models defined here.
 """
 
 from .design_space import DESIGN_HEADERS, DesignPoint, DesignSpaceExplorer

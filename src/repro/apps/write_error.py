@@ -116,6 +116,30 @@ class WriteErrorModel:
         return self.device.switching_time(vp, hz_stray,
                                           initial_state=initial_state)
 
+    def sample_wer(self, t_pulse, vp, hz_stray=0.0,
+                   initial_state=MTJState.AP, n_samples=200_000,
+                   rng=None):
+        """Monte-Carlo WER estimate from sampled initial angles.
+
+        Draws ``theta_0^2`` from the equilibrium distribution
+        ``P(theta_0^2) = Delta exp(-Delta theta_0^2)``, converts each to
+        its switching time, and counts the fraction missing ``t_pulse``
+        — the sampling-based cross-check of the closed form
+        :meth:`wer` (they agree to the MC standard error).
+        """
+        require_positive(t_pulse, "t_pulse")
+        require_positive(n_samples, "n_samples")
+        rate = self._angle_rate(vp, hz_stray, initial_state)
+        if rate <= 0.0:
+            return 1.0
+        rng = np.random.default_rng(rng)
+        delta = self.device.params.delta0
+        theta_sq = rng.exponential(1.0 / delta, size=int(n_samples))
+        # theta_0^2 beyond (pi/2)^2 means an already-switched draw
+        # (t_sw <= 0); the log handles it with a negative time.
+        t_sw = np.log((math.pi / 2.0) ** 2 / theta_sq) / (2.0 * rate)
+        return float(np.mean(t_sw > t_pulse))
+
     def worst_case_pulse(self, target_wer, vp, pitch):
         """Pulse width [s] covering the worst neighborhood at ``pitch``.
 

@@ -6,7 +6,12 @@ Subcommands::
     python -m repro.cli psi --ecd-nm 35 [...]      coupling-factor sweep
     python -m repro.cli design --ecds-nm 25,35,45  design-space table
     python -m repro.cli wer --vp 0.95 [...]        write-error pulse sizing
+    python -m repro.cli memsys --pitch-nm 70 [...] system-level UBER
     python -m repro.cli model-card --out DIR       compact-model export
+
+Stochastic subcommands (``wer``, ``memsys``) accept ``--seed N``; every
+random draw of the run flows from that one ``numpy.random.Generator``,
+so identical invocations print identical numbers.
 """
 
 from __future__ import annotations
@@ -22,6 +27,11 @@ from .device import MTJDevice, PAPER_EVAL_DEVICE
 from .device.compact import export_model_card
 from .reporting import ascii_plot, format_table
 from .units import nm_to_m, oe_to_am
+
+
+def _generator(args):
+    """The run's shared RNG; ``--seed`` makes the output reproducible."""
+    return np.random.default_rng(args.seed)
 
 
 def _cmd_reproduce(args):
@@ -56,17 +66,74 @@ def _cmd_design(args):
 
 
 def _cmd_wer(args):
+    from .arrays.pattern import ALL_AP, ALL_P
+    from .arrays.victim import VictimAnalysis
     device = MTJDevice(PAPER_EVAL_DEVICE)
     model = WriteErrorModel(device)
+    rng = _generator(args)
     rows = []
     for ratio in (3.0, 2.0, 1.5):
-        pitch = ratio * device.params.ecd
-        pulse = model.worst_case_pulse(args.target, args.vp, pitch)
-        penalty = model.pattern_pulse_penalty(args.target, args.vp, pitch)
-        rows.append((f"{ratio:g}x", pulse * 1e9, penalty * 1e9))
+        victim = VictimAnalysis(device, ratio * device.params.ecd)
+        hz_worst = victim.hz_total(ALL_P)
+        pulse = model.pulse_for_wer(args.target, args.vp, hz_worst)
+        penalty = pulse - model.pulse_for_wer(args.target, args.vp,
+                                              victim.hz_total(ALL_AP))
+        sampled = model.sample_wer(pulse, args.vp, hz_worst,
+                                   n_samples=args.samples, rng=rng)
+        rows.append((f"{ratio:g}x", pulse * 1e9, penalty * 1e9, sampled))
     print(format_table(
         ["pitch", f"pulse for WER={args.target:g} (ns)",
-         "pattern penalty (ns)"], rows, float_format=".3g"))
+         "pattern penalty (ns)", "sampled WER"], rows,
+        float_format=".3g"))
+    return 0
+
+
+def _cmd_memsys(args):
+    from .memsys import ScrubPolicy, build_engine, uber_sweep
+    from .memsys.sweeps import SWEEP_HEADERS
+    device = MTJDevice(PAPER_EVAL_DEVICE)
+    rng = _generator(args)
+    scrub = (ScrubPolicy(args.scrub_interval)
+             if args.scrub_interval else None)
+    engine = build_engine(
+        device, pitch=nm_to_m(args.pitch_nm), rows=args.rows,
+        cols=args.cols, ecc=args.ecc, workload=args.pattern,
+        scrub=scrub, vp=args.vp, nominal_wer=args.nominal_wer)
+    config = engine.controller.describe()
+    print(f"memsys: {args.rows}x{args.cols} array at "
+          f"{args.pitch_nm:g} nm pitch, {args.pattern} traffic, "
+          f"{args.ecc} ECC, write pulses trimmed to "
+          f"{config['t_pulse0_ns']:.1f}/{config['t_pulse1_ns']:.1f} ns "
+          f"(nominal WER {args.nominal_wer:g})")
+    print()
+    result = engine.run(args.transactions, rng=rng)
+    headers, rows = result.summary_rows()
+    print(format_table(headers, rows))
+    print()
+
+    seed = 0 if args.seed is None else args.seed
+    sweep = uber_sweep(device, rows=args.rows, cols=args.cols,
+                       seed=seed, vp=args.vp,
+                       nominal_wer=args.nominal_wer)
+    print("pitch sweep (expectation mode; UBER of the worst-case data "
+          "pattern rises as pitch shrinks):")
+    print(format_table(SWEEP_HEADERS, sweep.rows, float_format=".3e"))
+    print()
+    comp_headers, comp_rows = sweep.comparison_table()
+    print(format_table(comp_headers, comp_rows, float_format=".3g"))
+
+    if args.out:
+        from .experiments.runner import export
+        from .reporting import write_json
+        import dataclasses
+        export(sweep, args.out)
+        run_payload = dataclasses.asdict(result)
+        run_payload.update(raw_ber=result.raw_ber, uber=result.uber,
+                           word_fail_rate=result.word_fail_rate)
+        import os
+        path = write_json(os.path.join(args.out, "memsys_run.json"),
+                          run_payload)
+        print(f"\nwrote {path} and memsys_sweep.* to {args.out}")
     return 0
 
 
@@ -109,7 +176,35 @@ def build_parser():
     p = sub.add_parser("wer", help="write-error pulse sizing")
     p.add_argument("--vp", type=float, default=0.95)
     p.add_argument("--target", type=float, default=1e-6)
+    p.add_argument("--samples", type=int, default=200_000,
+                   help="Monte-Carlo draws for the sampled-WER column")
+    p.add_argument("--seed", type=int, default=None,
+                   help="seed of the run's random generator")
     p.set_defaults(func=_cmd_wer)
+
+    p = sub.add_parser(
+        "memsys", help="system-level UBER under read/write traffic")
+    from .memsys.ecc import ECC_SCHEMES
+    from .memsys.traffic import WORKLOADS
+    p.add_argument("--pitch-nm", type=float, default=70.0)
+    p.add_argument("--pattern", default="random",
+                   choices=sorted(WORKLOADS))
+    p.add_argument("--ecc", default="secded",
+                   choices=sorted(ECC_SCHEMES))
+    p.add_argument("--rows", type=int, default=64)
+    p.add_argument("--cols", type=int, default=64)
+    p.add_argument("--transactions", type=int, default=50_000)
+    p.add_argument("--vp", type=float, default=0.95)
+    p.add_argument("--nominal-wer", type=float, default=2e-3,
+                   help="per-polarity write-error trim target "
+                        "(accelerated-stress corner)")
+    p.add_argument("--scrub-interval", type=float, default=None,
+                   help="scrub period in seconds of simulated time")
+    p.add_argument("--seed", type=int, default=None,
+                   help="seed of the run's random generator")
+    p.add_argument("--out", default=None,
+                   help="directory for CSV/JSON exports")
+    p.set_defaults(func=_cmd_memsys)
 
     p = sub.add_parser("model-card", help="export a compact model")
     p.add_argument("--out", default="model_card")

@@ -1,0 +1,79 @@
+"""System-level memory reliability: controller, ECC, traffic, UBER.
+
+The device and array layers answer *how much worse does one cell get*;
+this package answers the question a memory designer actually asks:
+*what uncorrectable bit-error rate does a coupled, dense array deliver
+under real read/write traffic?* It composes the library's three failure
+mechanisms — write error, read disturb, retention — into one number.
+
+* :mod:`repro.memsys.traffic` — seeded workload generators (uniform,
+  sequential, hot-row/col, read/write-heavy, data-pattern stress),
+* :mod:`repro.memsys.controller` — behavioral array controller that
+  prices every access from the coupling-class probability tables,
+* :mod:`repro.memsys.ecc` — vectorized Hamming SEC-DED (72, 64 by
+  default) plus a no-ECC baseline,
+* :mod:`repro.memsys.scrub` — periodic scrubbing policy,
+* :mod:`repro.memsys.engine` — vectorized Monte-Carlo engine plus a
+  noise-free expectation mode,
+* :mod:`repro.memsys.sweeps` — pitch x pattern x ECC sweeps: the
+  paper's density axis carried to the system level.
+
+Quick start::
+
+    from repro import MTJDevice, PAPER_EVAL_DEVICE
+    from repro.memsys import build_engine
+
+    engine = build_engine(MTJDevice(PAPER_EVAL_DEVICE), pitch=70e-9)
+    result = engine.run(100_000, rng=1)
+    print(f"raw BER {result.raw_ber:.2e} -> UBER {result.uber:.2e}")
+"""
+
+from .controller import (
+    ArrayController,
+    WordMap,
+    neighborhood_class_map,
+)
+from .ecc import (
+    DecodeOutcome,
+    ECC_SCHEMES,
+    HammingSECDED,
+    NoECC,
+    make_ecc,
+)
+from .engine import MemsysResult, ReliabilityEngine, build_engine
+from .scrub import ScrubPolicy, no_scrub
+from .sweeps import secded_margin_pitch, uber_sweep
+from .traffic import (
+    HotSpotWorkload,
+    SequentialWorkload,
+    StressPatternWorkload,
+    TrafficBatch,
+    WORKLOADS,
+    Workload,
+    make_workload,
+)
+
+__all__ = [
+    "ArrayController",
+    "DecodeOutcome",
+    "ECC_SCHEMES",
+    "HammingSECDED",
+    "HotSpotWorkload",
+    "MemsysResult",
+    "NoECC",
+    "ReliabilityEngine",
+    "ScrubPolicy",
+    "SequentialWorkload",
+    "StressPatternWorkload",
+    "TrafficBatch",
+    "WORKLOADS",
+    "WordMap",
+    "Workload",
+    "build_engine",
+    "make_ecc",
+    "make_workload",
+    "neighborhood_class_map",
+    "no_scrub",
+    "secded_margin_pitch",
+    "uber_sweep",
+]

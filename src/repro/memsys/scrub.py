@@ -1,0 +1,64 @@
+"""Periodic scrubbing: bound retention-error accumulation.
+
+A scrub walks every word, decodes it, and rewrites correctable words so
+retention flips cannot pile up into uncorrectable pairs between natural
+accesses — the mitigation :mod:`repro.apps.retention_budget` sizes from
+the worst-case Delta. The rewrite goes through the ordinary write path,
+so scrubbing itself can (rarely) inject write errors; an aggressive
+scrub interval is not free.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ParameterError
+from ..validation import require_positive
+
+
+class ScrubPolicy:
+    """Scrub every ``interval`` seconds of simulated memory time.
+
+    Parameters
+    ----------
+    interval:
+        Seconds of simulated time between scrub passes; ``math.inf``
+        disables scrubbing (see :func:`no_scrub`).
+    """
+
+    def __init__(self, interval):
+        if interval != math.inf:
+            require_positive(interval, "interval")
+        self.interval = float(interval)
+        self._next_due = self.interval
+
+    @property
+    def enabled(self):
+        """False for the no-scrub policy."""
+        return math.isfinite(self.interval)
+
+    def due(self, now):
+        """True when simulated time ``now`` [s] has reached a scrub."""
+        return self.enabled and now >= self._next_due
+
+    def mark_done(self, now):
+        """Advance the schedule after a scrub at time ``now``."""
+        if not self.enabled:
+            raise ParameterError("no-scrub policy cannot mark a scrub")
+        # Catch up if the engine stepped over several periods at once.
+        periods = max(1, int(now / self.interval))
+        self._next_due = (periods + 1) * self.interval
+
+    def reset(self):
+        """Restart the schedule (engine calls this per run)."""
+        self._next_due = self.interval
+
+    def describe(self):
+        """Summary dict for reports."""
+        return {"scrub_interval_s":
+                (self.interval if self.enabled else None)}
+
+
+def no_scrub():
+    """The disabled scrub policy."""
+    return ScrubPolicy(math.inf)

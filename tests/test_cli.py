@@ -39,9 +39,51 @@ class TestCommands:
         assert out.count("\n") >= 4
 
     def test_wer(self, capsys):
-        assert main(["wer", "--vp", "1.0", "--target", "1e-4"]) == 0
+        assert main(["wer", "--vp", "1.0", "--target", "1e-4",
+                     "--samples", "20000"]) == 0
         out = capsys.readouterr().out
         assert "WER=0.0001" in out
+        assert "sampled WER" in out
+
+    def test_wer_seed_reproducible(self, capsys):
+        argv = ["wer", "--vp", "1.0", "--target", "1e-4",
+                "--samples", "20000", "--seed", "5"]
+        outputs = []
+        for _ in range(2):
+            assert main(argv) == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+
+    def test_memsys(self, capsys):
+        assert main(["memsys", "--pitch-nm", "70", "--pattern",
+                     "random", "--ecc", "secded", "--seed", "1",
+                     "--rows", "16", "--cols", "16",
+                     "--transactions", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "raw BER (pre-ECC)" in out
+        assert "post-ECC UBER" in out
+        assert "pitch sweep" in out
+        assert "worst-pattern UBER rises as pitch shrinks" in out
+
+    def test_memsys_seed_reproducible(self, capsys):
+        argv = ["memsys", "--seed", "9", "--rows", "16", "--cols",
+                "16", "--transactions", "1000"]
+        outputs = []
+        for _ in range(2):
+            assert main(argv) == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+
+    def test_memsys_out(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "memsys")
+        assert main(["memsys", "--seed", "1", "--rows", "16",
+                     "--cols", "16", "--transactions", "1000",
+                     "--out", out_dir]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert os.path.exists(os.path.join(out_dir,
+                                           "memsys_run.json"))
+        assert os.path.exists(os.path.join(out_dir,
+                                           "memsys_sweep.csv"))
 
     def test_model_card(self, tmp_path, capsys):
         out_dir = str(tmp_path / "card")

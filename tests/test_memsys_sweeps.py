@@ -1,0 +1,89 @@
+"""Tests for the pitch x pattern x ECC sweeps and their export."""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+
+import pytest
+
+from repro.memsys import secded_margin_pitch, uber_sweep
+from repro.memsys.sweeps import SWEEP_HEADERS
+
+
+@pytest.fixture(scope="module")
+def device():
+    from repro.device import MTJDevice, PAPER_EVAL_DEVICE
+    return MTJDevice(PAPER_EVAL_DEVICE)
+
+
+@pytest.fixture(scope="module")
+def sweep(device):
+    return uber_sweep(device, pitch_ratios=(3.0, 2.0, 1.5), rows=32,
+                      cols=32)
+
+
+class TestUberSweep:
+    def test_all_criteria_pass(self, sweep):
+        assert sweep.all_passed, [
+            c.metric for c in sweep.comparisons if not c.passed]
+
+    def test_row_geometry(self, sweep):
+        # 3 ratios x 3 patterns x 2 eccs.
+        assert len(sweep.rows) == 18
+        assert len(sweep.headers) == len(SWEEP_HEADERS)
+        assert all(len(row) == len(SWEEP_HEADERS)
+                   for row in sweep.rows)
+
+    def test_worst_pattern_uber_rises(self, sweep):
+        """The acceptance claim: denser -> higher worst-case UBER."""
+        solid = [row for row in sweep.rows
+                 if row[2] == "solid0" and row[3] == "secded"]
+        ubers = [row[-1] for row in solid]
+        assert ubers == sorted(ubers)
+        assert ubers[-1] > ubers[0]
+
+    def test_secded_below_raw(self, sweep):
+        by_key = sweep.extras["uber"]
+        for pattern in sweep.extras["patterns"]:
+            none = by_key[f"{pattern}/none"]
+            secded = by_key[f"{pattern}/secded"]
+            assert all(s < n for s, n in zip(secded, none))
+
+    def test_deterministic(self, device):
+        results = [uber_sweep(device, pitch_ratios=(3.0, 1.5),
+                              patterns=("solid0",), rows=16, cols=16)
+                   for _ in range(2)]
+        assert results[0].rows == results[1].rows
+
+
+class TestMarginPitch:
+    def test_finds_threshold(self, device):
+        ratio, uber = secded_margin_pitch(device, uber_target=3.5e-4,
+                                          rows=32, cols=32)
+        assert ratio is not None
+        assert 1.5 <= ratio <= 3.0
+        assert uber <= 3.5e-4
+
+    def test_impossible_target(self, device):
+        ratio, uber = secded_margin_pitch(device, uber_target=1e-30,
+                                          rows=16, cols=16)
+        assert ratio is None
+        assert uber > 1e-30
+
+
+class TestExport:
+    def test_csv_json_roundtrip(self, sweep, tmp_path):
+        """The memsys sweep reuses repro.reporting.export unchanged."""
+        from repro.experiments.runner import export
+        export(sweep, str(tmp_path))
+        csv_path = tmp_path / "memsys_sweep.csv"
+        with open(csv_path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == SWEEP_HEADERS
+        assert len(rows) == 1 + len(sweep.rows)
+        series_path = tmp_path / "memsys_sweep_series.json"
+        payload = json.loads(series_path.read_text())
+        assert payload["all_passed"] is True
+        assert os.path.exists(tmp_path / "memsys_sweep_comparison.csv")

@@ -1,0 +1,160 @@
+"""Tests for the workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arrays.pattern import checkerboard, solid
+from repro.errors import ParameterError
+from repro.memsys.traffic import (
+    HotSpotWorkload,
+    SequentialWorkload,
+    StressPatternWorkload,
+    TrafficBatch,
+    WORKLOADS,
+    Workload,
+    make_workload,
+)
+
+N_WORDS = 56
+
+
+class TestRegistry:
+    def test_all_names_construct(self):
+        for name in WORKLOADS:
+            wl = make_workload(name)
+            batch = wl.batch(100, N_WORDS, np.random.default_rng(0))
+            assert len(batch) == 100
+            assert batch.word.min() >= 0
+            assert batch.word.max() < N_WORDS
+
+    def test_unknown_name(self):
+        with pytest.raises(ParameterError):
+            make_workload("adversarial")
+
+    def test_read_fraction_override(self):
+        wl = make_workload("random", read_fraction=1.0)
+        batch = wl.batch(200, N_WORDS, np.random.default_rng(0))
+        assert not batch.is_write.any()
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_same_seed_same_stream(self, name):
+        batches = []
+        for _ in range(2):
+            wl = make_workload(name)
+            rng = np.random.default_rng(42)
+            wl.initial_bits(16, 16, rng)
+            batches.append(wl.batch(500, N_WORDS, rng))
+        assert np.array_equal(batches[0].word, batches[1].word)
+        assert np.array_equal(batches[0].is_write, batches[1].is_write)
+
+
+class TestMixes:
+    def test_read_heavy_vs_write_heavy(self):
+        rng = np.random.default_rng(1)
+        heavy_r = make_workload("read-heavy").batch(4000, N_WORDS, rng)
+        heavy_w = make_workload("write-heavy").batch(4000, N_WORDS, rng)
+        assert (~heavy_r.is_write).mean() > 0.85
+        assert heavy_w.is_write.mean() > 0.85
+
+
+class TestSequential:
+    def test_stride_wraps(self):
+        wl = SequentialWorkload(stride=3)
+        rng = np.random.default_rng(0)
+        a = wl.batch(N_WORDS, N_WORDS, rng)
+        expected = (3 * np.arange(N_WORDS)) % N_WORDS
+        assert np.array_equal(a.word, expected)
+        b = wl.batch(4, N_WORDS, rng)
+        assert np.array_equal(b.word, (3 * (N_WORDS + np.arange(4)))
+                              % N_WORDS)
+
+
+class TestHotSpot:
+    def test_concentration(self):
+        wl = HotSpotWorkload(hot_fraction=0.9, axis="row")
+        rng = np.random.default_rng(5)
+        batch = wl.batch(5000, N_WORDS, rng)
+        hot = set(wl.hot_words(N_WORDS).tolist())
+        frac_hot = np.mean([w in hot for w in batch.word.tolist()])
+        assert frac_hot > 0.85
+        assert len(hot) < N_WORDS / 4
+
+    def test_axis_validation(self):
+        with pytest.raises(ParameterError):
+            HotSpotWorkload(axis="diagonal")
+
+    def test_bound_hot_row_words_hold_top_band_cells(self):
+        from repro.arrays.layout import ArrayLayout
+        from repro.memsys.controller import WordMap
+        words = WordMap(ArrayLayout(pitch=70e-9, rows=64, cols=64), 72)
+        wl = HotSpotWorkload(axis="row").bind(words)
+        hot = wl.hot_words(words.n_words)
+        band_cells = set(range((64 // 8) * 64))
+        for w in hot.tolist():
+            assert band_cells.intersection(words.cells[w].tolist())
+        # Words outside the hot set hold no top-band cell.
+        for w in set(range(words.n_words)) - set(hot.tolist()):
+            assert not band_cells.intersection(words.cells[w].tolist())
+
+    def test_bound_hot_col_words_hold_left_band_cells(self):
+        from repro.arrays.layout import ArrayLayout
+        from repro.memsys.controller import WordMap
+        words = WordMap(ArrayLayout(pitch=70e-9, rows=64, cols=64), 72)
+        wl = HotSpotWorkload(axis="col").bind(words)
+        hot = wl.hot_words(words.n_words)
+        left = {r * 64 + c for r in range(64) for c in range(64 // 8)}
+        for w in hot.tolist():
+            assert left.intersection(words.cells[w].tolist())
+
+
+class TestStressPatterns:
+    def test_initial_bits_reuse_arrays_pattern(self):
+        rng = np.random.default_rng(0)
+        cb = StressPatternWorkload("checkerboard")
+        assert np.array_equal(cb.initial_bits(8, 8, rng),
+                              checkerboard(8, 8).bits)
+        s1 = StressPatternWorkload("solid1")
+        assert np.array_equal(s1.initial_bits(8, 8, rng),
+                              solid(8, 8, bit=1).bits)
+
+    def test_background_data_matches_pattern(self):
+        from repro.arrays.layout import ArrayLayout
+        from repro.memsys.controller import WordMap
+        from repro.memsys.ecc import HammingSECDED
+        ecc = HammingSECDED(64)
+        layout = ArrayLayout(pitch=70e-9, rows=16, cols=16)
+        words = WordMap(layout, ecc.n_code)
+        wl = StressPatternWorkload("checkerboard")
+        bits = wl.initial_bits(16, 16, np.random.default_rng(0))
+        data = wl.background_data(np.array([0, 1]), words,
+                                  ecc.data_positions)
+        flat = bits.reshape(-1)
+        for i, w in enumerate((0, 1)):
+            expected = flat[words.cells[w][ecc.data_positions]]
+            assert np.array_equal(data[i], expected)
+
+    def test_requires_initialization(self):
+        from repro.arrays.layout import ArrayLayout
+        from repro.memsys.controller import WordMap
+        wl = StressPatternWorkload("solid0")
+        words = WordMap(ArrayLayout(pitch=70e-9, rows=16, cols=16), 72)
+        with pytest.raises(ParameterError):
+            wl.background_data(np.array([0]), words, np.arange(64))
+
+    def test_unknown_pattern(self):
+        with pytest.raises(ParameterError):
+            StressPatternWorkload("gradient")
+
+
+class TestBatchValidation:
+    def test_shape_mismatch(self):
+        with pytest.raises(ParameterError):
+            TrafficBatch(word=np.arange(4), is_write=np.zeros(3, bool))
+
+    def test_base_workload_bounds(self):
+        with pytest.raises(Exception):
+            Workload(read_fraction=1.5)
