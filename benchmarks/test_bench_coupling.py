@@ -1,0 +1,152 @@
+"""Before/after benches for the vectorized kernel + sweep spine.
+
+The headline bench evaluates the acceptance grid — 3 device sizes x 13
+pitches x 256 NP8 patterns — twice over:
+
+* *baseline*: the pre-refactor path, reconstructed faithfully — every
+  kernel is a per-loop Python summation of analytic loop fields (one
+  elliptic-integral call per sub-loop per point), kernels are cached per
+  exact lateral offset (8 positions x 2 kinds per geometry), and the 256
+  patterns are a per-pattern Python loop over the 8 positions;
+* *vectorized*: the shipped path — 4 symmetry-reduced kernels per
+  geometry, each one a single broadcasted all-loops call, patterns via
+  ``hz_inter_batch``, all memoized in the process-wide KernelStore
+  (cleared per round, so the timing is a cold start).
+
+The test asserts numerical parity and a >= 5x speedup. A second bench
+records the system-level sweep throughput on the same pitch axis.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.arrays import InterCellCoupling, get_kernel_store
+from repro.arrays.layout import Neighborhood3x3
+from repro.arrays.pattern import NeighborhoodPattern
+from repro.fields import LoopCollection, layer_to_loops
+from repro.stack import build_reference_stack
+
+#: The acceptance grid: 3 sizes x 13 pitches x 256 patterns.
+SIZES = (35e-9, 45e-9, 55e-9)
+RATIOS = tuple(np.linspace(1.5, 3.0, 13))
+ALL_NP8 = np.arange(256)
+
+
+def _baseline_grid():
+    """The pre-refactor evaluation of the full grid."""
+    results = {}
+    for ecd in SIZES:
+        stack = build_reference_stack(ecd)
+        for ratio in RATIOS:
+            positions = Neighborhood3x3(
+                pitch=ratio * ecd).aggressor_positions()
+            cache = {}
+            for pos in positions:
+                key = (round(pos[0], 15), round(pos[1], 15))
+                for kind, layers, direction in (
+                        ("fixed", stack.fixed_layers(), None),
+                        ("fl", (stack.free_layer,), +1)):
+                    loops = []
+                    for layer in layers:
+                        loops.extend(layer_to_loops(
+                            layer, stack.radius, center_xy=pos,
+                            direction=direction))
+                    cache[key + (kind,)] = float(
+                        LoopCollection(loops).field_per_loop(
+                            (0.0, 0.0, 0.0))[2])
+            values = np.empty(256)
+            for v in range(256):
+                pattern = NeighborhoodPattern.from_int(v)
+                signs = pattern.signs()
+                total = 0.0
+                for i, pos in enumerate(positions):
+                    key = (round(pos[0], 15), round(pos[1], 15))
+                    total += cache[key + ("fixed",)]
+                    total += signs[i] * cache[key + ("fl",)]
+                values[v] = total
+            results[(ecd, float(ratio))] = values
+    return results
+
+
+def _vectorized_grid():
+    """The shipped evaluation of the same grid, from a cold store."""
+    get_kernel_store().clear()
+    results = {}
+    for ecd in SIZES:
+        stack = build_reference_stack(ecd)
+        for ratio in RATIOS:
+            coupling = InterCellCoupling(stack, float(ratio) * ecd)
+            results[(ecd, float(ratio))] = coupling.hz_inter_batch(
+                ALL_NP8)
+    return results
+
+
+def test_kernel_grid_vectorized_5x_speedup(benchmark):
+    t0 = time.perf_counter()
+    baseline = _baseline_grid()
+    t_baseline = time.perf_counter() - t0
+
+    vectorized = benchmark.pedantic(_vectorized_grid, rounds=3,
+                                    iterations=1)
+
+    for key, expected in baseline.items():
+        np.testing.assert_allclose(vectorized[key], expected,
+                                   rtol=1e-9, atol=1e-6)
+
+    t_vectorized = benchmark.stats.stats.min
+    speedup = t_baseline / t_vectorized
+    print(f"\nkernel grid ({len(SIZES)} sizes x {len(RATIOS)} pitches "
+          f"x 256 patterns): baseline {t_baseline * 1e3:.0f} ms, "
+          f"vectorized {t_vectorized * 1e3:.0f} ms -> "
+          f"{speedup:.1f}x")
+    assert speedup >= 5.0, (
+        f"vectorized path only {speedup:.1f}x faster than the per-loop "
+        f"baseline (acceptance: >= 5x)")
+
+
+def test_warm_store_grid_revisit(benchmark):
+    """Revisiting the grid with a warm store is pure table lookups."""
+    get_kernel_store().clear()
+    _vectorized_grid_no_clear()
+
+    result = benchmark.pedantic(_vectorized_grid_no_clear, rounds=3,
+                                iterations=1)
+    assert len(result) == len(SIZES) * len(RATIOS)
+    stats = get_kernel_store().stats()
+    assert stats["hits"] > stats["misses"]
+
+
+def _vectorized_grid_no_clear():
+    results = {}
+    for ecd in SIZES:
+        stack = build_reference_stack(ecd)
+        for ratio in RATIOS:
+            coupling = InterCellCoupling(stack, float(ratio) * ecd)
+            results[(ecd, float(ratio))] = coupling.hz_inter_batch(
+                ALL_NP8)
+    return results
+
+
+def test_uber_sweep_throughput(benchmark):
+    """System-level sweep throughput over the 13-pitch axis."""
+    from repro.device import MTJDevice, PAPER_EVAL_DEVICE
+    from repro.memsys import uber_sweep
+    device = MTJDevice(PAPER_EVAL_DEVICE)
+
+    def run():
+        get_kernel_store().clear()
+        # uber_sweep wants the density axis widest-first, densest last.
+        return uber_sweep(device,
+                          pitch_ratios=tuple(reversed(RATIOS)),
+                          patterns=("solid0",), rows=16, cols=16)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.all_passed, [
+        c.metric for c in result.comparisons if not c.passed]
+    n_points = len(RATIOS) * 1 * 2
+    elapsed = benchmark.stats.stats.min
+    print(f"\nuber sweep: {n_points} grid points in "
+          f"{elapsed * 1e3:.0f} ms "
+          f"({n_points / elapsed:.0f} points/s cold)")

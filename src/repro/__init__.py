@@ -27,6 +27,9 @@ Module map (device physics up to system questions):
 * :mod:`repro.memsys` — system level: array controller, traffic,
   Hamming SEC-DED, scrubbing, and the Monte-Carlo UBER engine — start
   here for "what error rate does the *system* deliver" questions,
+* :mod:`repro.sweep` — generic parameter-sweep engine (named axes,
+  serial/process/chunked executors) that the design-space, memsys, and
+  figure sweeps run on,
 * :mod:`repro.experiments` / :mod:`repro.reporting` — figure-by-figure
   reproduction and rendering/export.
 
@@ -34,7 +37,7 @@ See ``examples/`` for runnable scenarios and ``python -m repro.cli`` for
 the command-line front end.
 """
 
-from . import memsys, units
+from . import memsys, sweep, units
 from .apps import (
     ArrayYieldAnalysis,
     DesignSpaceExplorer,
@@ -111,6 +114,7 @@ __all__ = [
     "memsys",
     "psi_threshold_pitch",
     "psi_vs_pitch",
+    "sweep",
     "units",
     "__version__",
 ]

@@ -10,6 +10,7 @@ memory architect actually trades off.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Tuple
 
 import numpy as np
@@ -20,6 +21,7 @@ from ..arrays.victim import VictimAnalysis
 from ..core.psi import coupling_factor
 from ..device.mtj import DeviceParameters, MTJDevice, MTJState
 from ..errors import ParameterError
+from ..sweep import SweepRunner, SweepSpec, executor_for_jobs
 from ..validation import require_positive
 
 
@@ -115,17 +117,22 @@ class DesignSpaceExplorer:
             worst_delta=float(worst_delta),
         )
 
-    def sweep(self, ecds, pitch_ratios):
+    def sweep(self, ecds, pitch_ratios, jobs=None, executor=None):
         """Evaluate the cartesian grid of ``ecds`` x ``pitch_ratios``.
 
-        Returns the DesignPoints in row-major (eCD-major) order.
+        Runs on the :mod:`repro.sweep` engine; ``jobs`` > 1 (or an
+        explicit ``executor``) fans the grid out over a process pool.
+        Returns the DesignPoints in row-major (eCD-major) order, the
+        same for every executor.
         """
-        points = []
-        for ecd in ecds:
-            for ratio in pitch_ratios:
-                points.append(self.evaluate(float(ecd),
-                                            float(ratio) * float(ecd)))
-        return points
+        spec = SweepSpec.product(
+            ecd=[float(e) for e in ecds],
+            ratio=[float(r) for r in pitch_ratios])
+        executor = executor or executor_for_jobs(jobs)
+        func = partial(_design_point, self.base_params,
+                       self.probe_voltage)
+        runner = SweepRunner(func, executor=executor, jobs=jobs)
+        return list(runner.run(spec).values)
 
     def pareto_front(self, points, min_worst_delta=0.0,
                      max_psi=1.0):
@@ -149,3 +156,14 @@ class DesignSpaceExplorer:
 
         return [p for p in feasible
                 if not any(dominates(q, p) for q in feasible if q is not p)]
+
+
+def _design_point(base_params, probe_voltage, ecd, ratio):
+    """Sweep point function (module-level so process pools can pickle).
+
+    Rebuilds a throwaway explorer per point — model construction is
+    cheap now that kernels are memoized process-wide.
+    """
+    explorer = DesignSpaceExplorer(base_params,
+                                   probe_voltage=probe_voltage)
+    return explorer.evaluate(ecd, ratio * ecd)

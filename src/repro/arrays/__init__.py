@@ -7,7 +7,9 @@ Named ``arrays`` (plural) to avoid shadowing the stdlib ``array`` module.
 * :mod:`repro.arrays.pattern` — NP8 neighborhood patterns and whole-array
   data patterns,
 * :mod:`repro.arrays.coupling` — the inter-cell stray-field model
-  (Section IV-B) with cached per-position kernels,
+  (Section IV-B) built on symmetry-reduced kernels,
+* :mod:`repro.arrays.kernel_store` — process-wide memoized store of the
+  stray-field kernels shared by every coupling-model consumer,
 * :mod:`repro.arrays.victim` — combined intra+inter analysis of a victim
   cell,
 * :mod:`repro.arrays.density` — areal-density bookkeeping.
@@ -16,6 +18,7 @@ Named ``arrays`` (plural) to avoid shadowing the stdlib ``array`` module.
 from .coupling import CouplingKernels, InterCellCoupling
 from .density import areal_density_gbit_per_mm2, cell_area, density_table
 from .extended import ExtendedNeighborhood, fast_array_field_map
+from .kernel_store import KernelStore, get_kernel_store, stack_fingerprint
 from .retention_map import RetentionMap, retention_map
 from .statistics import (
     FieldDistribution,
@@ -40,6 +43,7 @@ __all__ = [
     "ExtendedNeighborhood",
     "FieldDistribution",
     "InterCellCoupling",
+    "KernelStore",
     "Neighborhood3x3",
     "NeighborhoodPattern",
     "RetentionMap",
@@ -51,8 +55,10 @@ __all__ = [
     "density_table",
     "expected_retention_failure_rate",
     "fast_array_field_map",
+    "get_kernel_store",
     "pattern_classes",
     "pattern_field_distribution",
     "retention_map",
     "solid",
+    "stack_fingerprint",
 ]

@@ -15,9 +15,12 @@ described by two kernels per neighbor position:
 
 so the field for pattern NP8 is
 ``sum_i fixed(pos_i) + sum_i sign_i * fl(pos_i)`` with ``sign_i = +1`` for
-P and -1 for AP. Kernels are cached per lateral offset; by symmetry the
-four direct neighbors share one kernel value and the four diagonals
-another, which is why Fig. 4a collapses onto 25 classes.
+P and -1 for AP. By symmetry the four direct neighbors share one kernel
+value and the four diagonals another, which is why Fig. 4a collapses onto
+25 classes; every pattern evaluation here goes through those two
+symmetry-reduced kernel pairs. Kernel values are memoized process-wide in
+the :mod:`repro.arrays.kernel_store`, so rebuilding coupling objects
+across a sweep re-uses the elliptic-integral work.
 """
 
 from __future__ import annotations
@@ -27,12 +30,16 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import ParameterError
-from ..fields import LoopCollection, layer_to_loops
 from ..stack import MTJStack
 from ..units import am_to_oe
 from ..validation import require_positive
+from .kernel_store import get_kernel_store
 from .layout import Neighborhood3x3
-from .pattern import NeighborhoodPattern, all_patterns
+from .pattern import NeighborhoodPattern
+
+#: Popcount of the 16 nibble values; indexes AP counts from NP8 bits.
+_NIBBLE_POPCOUNT = np.array([bin(v).count("1") for v in range(16)],
+                            dtype=np.int64)
 
 
 @dataclass(frozen=True)
@@ -89,37 +96,20 @@ class InterCellCoupling:
         self.neighborhood = Neighborhood3x3(pitch=self.pitch)
         self.evaluation_point = np.asarray(evaluation_point, dtype=float)
         self.temperature = temperature
-        self._kernel_cache = {}
 
     # -- kernels -----------------------------------------------------------
-
-    def _neighbor_loops(self, offset_xy, layers, direction=None):
-        loops = []
-        for layer in layers:
-            loops.extend(layer_to_loops(
-                layer, self.stack.radius, center_xy=offset_xy,
-                direction=direction, temperature=self.temperature))
-        return LoopCollection(loops)
 
     def _kernel(self, offset_xy, kind):
         """Hz [A/m] at the victim point from one neighbor at ``offset_xy``.
 
         ``kind`` is ``"fixed"`` (RL+HL with their pinned directions) or
-        ``"fl"`` (FL in the P state).
+        ``"fl"`` (FL in the P state). Memoized process-wide in the
+        :class:`~repro.arrays.kernel_store.KernelStore`.
         """
-        key = (round(offset_xy[0], 15), round(offset_xy[1], 15), kind)
-        if key not in self._kernel_cache:
-            if kind == "fixed":
-                col = self._neighbor_loops(
-                    offset_xy, self.stack.fixed_layers())
-            elif kind == "fl":
-                col = self._neighbor_loops(
-                    offset_xy, (self.stack.free_layer,), direction=+1)
-            else:
-                raise ParameterError(f"unknown kernel kind {kind!r}")
-            self._kernel_cache[key] = float(
-                col.field(self.evaluation_point)[2])
-        return self._kernel_cache[key]
+        return get_kernel_store().kernel(
+            self.stack, offset_xy, kind,
+            evaluation_point=tuple(self.evaluation_point),
+            temperature=self.temperature)
 
     def kernels(self):
         """The four symmetry-reduced kernels of this geometry."""
@@ -135,18 +125,12 @@ class InterCellCoupling:
     # -- pattern fields ------------------------------------------------------
 
     def hz_inter(self, pattern):
-        """``Hz_s_inter`` [A/m] at the victim FL for one NP8 pattern."""
-        if not isinstance(pattern, NeighborhoodPattern):
-            pattern = NeighborhoodPattern.from_int(int(pattern))
-        total = 0.0
-        positions = self.neighborhood.aggressor_positions()
-        for i, pos in enumerate(positions):
-            total += self._kernel(pos, "fixed")
-            total += pattern.signs()[i] * self._kernel(pos, "fl")
-        return total
+        """``Hz_s_inter`` [A/m] at the victim FL for one NP8 pattern.
 
-    def hz_inter_fast(self, pattern):
-        """Same as :meth:`hz_inter` via the symmetry-reduced kernels."""
+        Evaluated through the two symmetry-reduced kernel pairs of
+        :meth:`kernels` — the four direct (and four diagonal) positions
+        share one kernel value, so only the AP counts matter.
+        """
         if not isinstance(pattern, NeighborhoodPattern):
             pattern = NeighborhoodPattern.from_int(int(pattern))
         k = self.kernels()
@@ -156,16 +140,33 @@ class InterCellCoupling:
                 + (4 - 2 * n_dir) * k.fl_direct
                 + (4 - 2 * n_diag) * k.fl_diagonal)
 
+    # Kept as an alias: the "fast" path IS the only pattern path now.
+    hz_inter_fast = hz_inter
+
+    def hz_inter_batch(self, patterns):
+        """``Hz_s_inter`` [A/m] for an array of NP8 decimal patterns.
+
+        Vectorized over any integer array shape: decodes the direct
+        (bits 0-3) and diagonal (bits 4-7) AP counts with a nibble
+        popcount table and applies the symmetry-reduced kernels in one
+        numpy expression.
+        """
+        patterns = np.asarray(patterns)
+        if not np.issubdtype(patterns.dtype, np.integer):
+            raise ParameterError(
+                f"patterns must be integers, got dtype {patterns.dtype}")
+        if patterns.size and (patterns.min() < 0 or patterns.max() > 255):
+            raise ParameterError("patterns must lie in [0, 255]")
+        n_dir = _NIBBLE_POPCOUNT[patterns & 0x0F]
+        n_diag = _NIBBLE_POPCOUNT[(patterns >> 4) & 0x0F]
+        k = self.kernels()
+        return (k.pattern_independent
+                + (4 - 2 * n_dir) * k.fl_direct
+                + (4 - 2 * n_diag) * k.fl_diagonal)
+
     def hz_inter_all(self):
         """``Hz_s_inter`` [A/m] for all 256 patterns (decimal order)."""
-        k = self.kernels()
-        values = np.empty(256)
-        for pattern in all_patterns():
-            values[pattern.to_int()] = (
-                k.pattern_independent
-                + (4 - 2 * pattern.direct_ones) * k.fl_direct
-                + (4 - 2 * pattern.diagonal_ones) * k.fl_diagonal)
-        return values
+        return self.hz_inter_batch(np.arange(256))
 
     def class_table(self):
         """Fig. 4a data: ``{(n_direct, n_diag): Hz_inter [A/m]}``."""

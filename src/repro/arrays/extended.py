@@ -13,10 +13,10 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import ParameterError
-from ..fields import LoopCollection, layer_to_loops
 from ..stack import MTJStack
 from ..units import am_to_oe
 from ..validation import require_int_in_range, require_positive
+from .kernel_store import get_kernel_store
 
 
 class ExtendedNeighborhood:
@@ -51,18 +51,16 @@ class ExtendedNeighborhood:
                 if (i, j) != (0, 0)]
 
     def _kernel_pair(self, offset):
-        """(fixed, fl_p) Hz kernels [A/m] of the neighbor at ``offset``."""
+        """(fixed, fl_p) Hz kernels [A/m] of the neighbor at ``offset``.
+
+        Memoized process-wide (same store as the 3x3 model, so the ring-1
+        kernels are shared with :class:`~repro.arrays.coupling.
+        InterCellCoupling` at the same stack and pitch).
+        """
         dx, dy = offset[0] * self.pitch, offset[1] * self.pitch
-        fixed_loops = []
-        for layer in self.stack.fixed_layers():
-            fixed_loops.extend(layer_to_loops(
-                layer, self.stack.radius, center_xy=(dx, dy)))
-        fl_loops = layer_to_loops(
-            self.stack.free_layer, self.stack.radius, center_xy=(dx, dy),
-            direction=+1)
-        origin = (0.0, 0.0, 0.0)
-        return (float(LoopCollection(fixed_loops).field(origin)[2]),
-                float(LoopCollection(fl_loops).field(origin)[2]))
+        store = get_kernel_store()
+        return (store.kernel(self.stack, (dx, dy), "fixed"),
+                store.kernel(self.stack, (dx, dy), "fl"))
 
     def kernels(self):
         """``{offset: (fixed, fl_p)}`` for every neighbor (cached)."""

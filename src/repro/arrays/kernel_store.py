@@ -1,0 +1,162 @@
+"""Process-wide memoized store of stray-field coupling kernels.
+
+Every consumer of the coupling model — :class:`repro.core.inter.
+InterCellModel`, :class:`repro.arrays.coupling.InterCellCoupling`,
+:class:`repro.arrays.extended.ExtendedNeighborhood`, the memsys
+:class:`~repro.memsys.controller.ArrayController` — ultimately needs the
+same scalar: the Hz field [A/m] at an evaluation point on the victim FL
+sourced by one neighbor stack at a lateral offset. That scalar depends
+only on
+
+* the *stack fingerprint* — pillar geometry, the magnetic layers'
+  effective moments (after any temperature scaling), and which layer set
+  is sourcing (``"fixed"`` = RL + HL with pinned directions, ``"fl"`` =
+  the free layer in the P state),
+* the lateral offset (which encodes the pitch), and
+* the evaluation point.
+
+Before this store, every ``InterCellCoupling`` instance kept a private
+``_kernel_cache``, so a pitch sweep that rebuilt model objects per point
+recomputed identical elliptic-integral sums from scratch. The store
+memoizes them process-wide: model objects stay cheap, throwaway facades,
+and repeated grid scenarios (the paper's pitch x pattern x size sweeps)
+pay for each kernel once per process.
+
+The store is thread-safe; under the :mod:`repro.sweep` process-pool
+executor each worker simply grows its own copy, which is exactly the
+right sharing granularity (kernels are pure functions of the key).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..errors import ParameterError
+from ..fields import layer_to_loops
+from ..fields.superposition import LoopCollection
+from ..stack import MTJStack
+
+#: Decimal places for rounding lengths [m] in cache keys (sub-fm).
+_KEY_DECIMALS = 15
+
+#: The kernel kinds the store computes.
+KERNEL_KINDS = ("fixed", "fl")
+
+
+def stack_fingerprint(stack, temperature=None):
+    """Hashable fingerprint of everything a coupling kernel depends on.
+
+    Captures the pillar radius and, per magnetic layer, its role,
+    vertical extent, magnetization direction, and the *effective* Ms
+    after Bloch scaling to ``temperature``. Two stacks with equal
+    fingerprints produce identical kernels; changing any moment,
+    thickness, eCD, or the temperature changes the fingerprint and
+    therefore invalidates nothing — it simply keys new entries.
+    """
+    if not isinstance(stack, MTJStack):
+        raise ParameterError(
+            f"stack must be an MTJStack, got {type(stack)!r}")
+    layers = []
+    for layer in stack.magnetic_layers():
+        ms = (layer.material.ms if temperature is None
+              else layer.material.ms_at(temperature))
+        layers.append((layer.role.value,
+                       round(layer.z_bottom, _KEY_DECIMALS),
+                       round(layer.z_top, _KEY_DECIMALS),
+                       float(ms),
+                       layer.direction))
+    return (round(stack.radius, _KEY_DECIMALS), tuple(layers))
+
+
+class KernelStore:
+    """Memoized ``(stack, offset, kind, point) -> Hz`` kernel evaluator.
+
+    Normally used through the module-level singleton (see
+    :func:`get_kernel_store`); instantiable separately for isolation in
+    tests. ``hits``/``misses`` count lookups for observability.
+    """
+
+    def __init__(self):
+        self._cache = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self):
+        return len(self._cache)
+
+    def clear(self):
+        """Drop every entry and reset the hit/miss counters."""
+        with self._lock:
+            self._cache.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def stats(self):
+        """``{"entries": n, "hits": h, "misses": m}`` snapshot."""
+        with self._lock:
+            return {"entries": len(self._cache), "hits": self.hits,
+                    "misses": self.misses}
+
+    def kernel(self, stack, offset_xy, kind,
+               evaluation_point=(0.0, 0.0, 0.0), temperature=None):
+        """Hz [A/m] at ``evaluation_point`` from one neighbor stack.
+
+        Parameters
+        ----------
+        stack:
+            The neighbor's :class:`~repro.stack.MTJStack`.
+        offset_xy:
+            Lateral (x, y) position [m] of the neighbor's axis relative
+            to the evaluation frame.
+        kind:
+            ``"fixed"`` (RL + HL with their pinned directions) or
+            ``"fl"`` (free layer in the P state, +z).
+        evaluation_point:
+            (x, y, z) [m] where Hz is evaluated; default the FL center.
+        temperature:
+            Optional temperature [K] scaling the layer moments.
+        """
+        if kind not in KERNEL_KINDS:
+            raise ParameterError(f"unknown kernel kind {kind!r}")
+        point = tuple(round(float(c), _KEY_DECIMALS)
+                      for c in evaluation_point)
+        if len(point) != 3:
+            raise ParameterError(
+                f"evaluation_point must have 3 components, got "
+                f"{len(point)}")
+        key = (stack_fingerprint(stack, temperature),
+               round(float(offset_xy[0]), _KEY_DECIMALS),
+               round(float(offset_xy[1]), _KEY_DECIMALS),
+               kind, point)
+        with self._lock:
+            if key in self._cache:
+                self.hits += 1
+                return self._cache[key]
+        value = self._compute(stack, offset_xy, kind, point, temperature)
+        with self._lock:
+            self.misses += 1
+            self._cache[key] = value
+        return value
+
+    @staticmethod
+    def _compute(stack, offset_xy, kind, point, temperature):
+        if kind == "fixed":
+            layers, direction = stack.fixed_layers(), None
+        else:
+            layers, direction = (stack.free_layer,), +1
+        loops = []
+        for layer in layers:
+            loops.extend(layer_to_loops(
+                layer, stack.radius, center_xy=offset_xy,
+                direction=direction, temperature=temperature))
+        return float(LoopCollection(loops).field(point)[2])
+
+
+#: The process-wide store shared by every coupling-model consumer.
+_GLOBAL_STORE = KernelStore()
+
+
+def get_kernel_store():
+    """The process-wide :class:`KernelStore` singleton."""
+    return _GLOBAL_STORE

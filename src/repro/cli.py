@@ -12,6 +12,10 @@ Subcommands::
 Stochastic subcommands (``wer``, ``memsys``) accept ``--seed N``; every
 random draw of the run flows from that one ``numpy.random.Generator``,
 so identical invocations print identical numbers.
+
+Sweep-shaped subcommands (``reproduce``, ``design``, ``memsys``) accept
+``--jobs N`` to fan the underlying :mod:`repro.sweep` grid out over N
+worker processes; results are identical to the serial run.
 """
 
 from __future__ import annotations
@@ -34,9 +38,21 @@ def _generator(args):
     return np.random.default_rng(args.seed)
 
 
+def _jobs_arg(value):
+    """argparse type for ``--jobs``: a positive worker count."""
+    jobs = int(value)
+    if jobs < 1:
+        raise argparse.ArgumentTypeError(
+            f"--jobs must be >= 1, got {jobs}")
+    return jobs
+
+
 def _cmd_reproduce(args):
     from .experiments.runner import main as runner_main
-    return runner_main([args.out] if args.out else [])
+    argv = [args.out] if args.out else []
+    if args.jobs:
+        argv += ["--jobs", str(args.jobs)]
+    return runner_main(argv)
 
 
 def _cmd_psi(args):
@@ -59,7 +75,7 @@ def _cmd_design(args):
     ratios = [float(v) for v in args.ratios.split(",")]
     explorer = DesignSpaceExplorer(PAPER_EVAL_DEVICE,
                                    probe_voltage=args.vp)
-    points = explorer.sweep(ecds, ratios)
+    points = explorer.sweep(ecds, ratios, jobs=args.jobs)
     print(format_table(DESIGN_HEADERS, [p.row() for p in points],
                        float_format=".3g"))
     return 0
@@ -113,7 +129,7 @@ def _cmd_memsys(args):
 
     seed = 0 if args.seed is None else args.seed
     sweep = uber_sweep(device, rows=args.rows, cols=args.cols,
-                       seed=seed, vp=args.vp,
+                       seed=seed, jobs=args.jobs, vp=args.vp,
                        nominal_wer=args.nominal_wer)
     print("pitch sweep (expectation mode; UBER of the worst-case data "
           "pattern rises as pitch shrinks):")
@@ -156,6 +172,8 @@ def build_parser():
     p = sub.add_parser("reproduce", help="regenerate all paper figures")
     p.add_argument("--out", default=None,
                    help="directory for CSV/JSON exports")
+    p.add_argument("--jobs", type=_jobs_arg, default=None,
+                   help="worker processes for parallel figure execution")
     p.set_defaults(func=_cmd_reproduce)
 
     p = sub.add_parser("psi", help="coupling factor vs pitch")
@@ -171,6 +189,8 @@ def build_parser():
     p.add_argument("--ecds-nm", default="25,35,45")
     p.add_argument("--ratios", default="1.5,2.0,3.0")
     p.add_argument("--vp", type=float, default=0.85)
+    p.add_argument("--jobs", type=_jobs_arg, default=None,
+                   help="worker processes for the design-space sweep")
     p.set_defaults(func=_cmd_design)
 
     p = sub.add_parser("wer", help="write-error pulse sizing")
@@ -202,6 +222,8 @@ def build_parser():
                    help="scrub period in seconds of simulated time")
     p.add_argument("--seed", type=int, default=None,
                    help="seed of the run's random generator")
+    p.add_argument("--jobs", type=_jobs_arg, default=None,
+                   help="worker processes for the pitch sweep")
     p.add_argument("--out", default=None,
                    help="directory for CSV/JSON exports")
     p.set_defaults(func=_cmd_memsys)

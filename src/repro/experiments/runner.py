@@ -1,10 +1,12 @@
 """Run and render all figure reproductions.
 
 ``run_all()`` executes every experiment and returns the results keyed by
-figure id; ``render(result)`` pretty-prints one result (data table,
+figure id — serially by default, or fanned out over a process pool with
+``jobs`` (each figure is one sweep point of the :mod:`repro.sweep`
+engine). ``render(result)`` pretty-prints one result (data table,
 paper-vs-measured table, ASCII plot); the module is runnable::
 
-    python -m repro.experiments.runner [output_dir]
+    python -m repro.experiments.runner [output_dir] [--jobs N]
 
 which prints everything and, if an output directory is given, exports every
 series and table to CSV/JSON.
@@ -12,6 +14,7 @@ series and table to CSV/JSON.
 
 from __future__ import annotations
 
+import argparse
 import os
 import sys
 
@@ -56,16 +59,30 @@ EXTENSIONS = {
 }
 
 
-def run_all(include_extensions=False):
+def _run_experiment(name):
+    """Run one experiment by registry name (picklable sweep point)."""
+    modules = {**EXPERIMENTS, **EXTENSIONS}
+    return modules[name].run()
+
+
+def run_all(include_extensions=False, jobs=None, executor=None):
     """Run every experiment; returns ``{figure_id: ExperimentResult}``.
 
     With ``include_extensions=True`` the extension experiments (beyond
-    the paper's figures) are appended.
+    the paper's figures) are appended. ``jobs`` > 1 (or an explicit
+    ``executor``) runs the figures in parallel worker processes; the
+    returned dict is keyed and ordered identically either way.
     """
+    from ..sweep import SweepRunner, SweepSpec, executor_for_jobs
     modules = dict(EXPERIMENTS)
     if include_extensions:
         modules.update(EXTENSIONS)
-    return {name: module.run() for name, module in modules.items()}
+    names = list(modules)
+    spec = SweepSpec.zipped(name=names)
+    executor = executor or executor_for_jobs(jobs)
+    result = SweepRunner(_run_experiment, executor=executor,
+                         jobs=jobs).run(spec)
+    return dict(zip(names, result.values))
 
 
 def render(result, max_rows=12, plot=True):
@@ -109,11 +126,26 @@ def export(result, output_dir):
     write_json(base + "_series.json", payload)
 
 
+def _jobs_arg(value):
+    """argparse type for ``--jobs``: a positive worker count."""
+    jobs = int(value)
+    if jobs < 1:
+        raise argparse.ArgumentTypeError(
+            f"--jobs must be >= 1, got {jobs}")
+    return jobs
+
+
 def main(argv=None):
     """CLI entry point: run, print, optionally export everything."""
     argv = sys.argv[1:] if argv is None else argv
-    output_dir = argv[0] if argv else None
-    results = run_all(include_extensions=True)
+    parser = argparse.ArgumentParser(prog="repro.experiments.runner")
+    parser.add_argument("output_dir", nargs="?", default=None,
+                        help="directory for CSV/JSON exports")
+    parser.add_argument("--jobs", type=_jobs_arg, default=None,
+                        help="worker processes for figure execution")
+    args = parser.parse_args(argv)
+    output_dir = args.output_dir
+    results = run_all(include_extensions=True, jobs=args.jobs)
     n_passed = 0
     for result in results.values():
         print(render(result))

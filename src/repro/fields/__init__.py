@@ -19,7 +19,11 @@ points.
 from .biot_savart import loop_field_biot_savart, segment_loop
 from .bound_current import bound_current, layer_to_loops
 from .dipole import dipole_field, loop_as_dipole
-from .loop_analytic import loop_field_analytic, loop_field_on_axis
+from .loop_analytic import (
+    loop_field_analytic,
+    loop_field_analytic_many,
+    loop_field_on_axis,
+)
 from .sampling import disk_average, grid3d, radial_line
 from .superposition import CurrentLoop, LoopCollection
 
@@ -33,6 +37,7 @@ __all__ = [
     "layer_to_loops",
     "loop_as_dipole",
     "loop_field_analytic",
+    "loop_field_analytic_many",
     "loop_field_biot_savart",
     "loop_field_on_axis",
     "radial_line",

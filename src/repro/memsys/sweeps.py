@@ -6,14 +6,24 @@ these sweeps show its system-level analogue: the pitch at which SEC-DED
 stops hiding the coupling-induced error inflation. Rates come from the
 engine's noise-free expectation mode so the monotone coupling trend is
 not buried under Monte-Carlo noise.
+
+Both sweeps run on the generic :mod:`repro.sweep` engine: the parameter
+grid is a :class:`~repro.sweep.spec.SweepSpec`, the per-point evaluation
+is a module-level function (so process pools can pickle it), and result
+order is the spec's enumeration order for every executor — which is why
+``executor="process"`` produces byte-identical tables to the serial
+baseline for the same seed.
 """
 
 from __future__ import annotations
 
+from functools import partial
+
 import numpy as np
 
+from ..errors import ParameterError
 from ..experiments.base import Comparison, ExperimentResult
-from ..units import nm_to_m
+from ..sweep import SweepRunner, SweepSpec, executor_for_jobs
 from ..validation import require_positive
 from .engine import build_engine
 
@@ -27,9 +37,26 @@ SWEEP_HEADERS = ["pitch", "(nm)", "pattern", "ecc", "raw BER",
                  "word fail", "UBER"]
 
 
+def _rates_point(device, rows, cols, seed, engine_kwargs, pattern, ecc,
+                 ratio):
+    """Expected rates of one (pattern, ecc, ratio) grid point.
+
+    Module-level so the process executors can pickle it; each worker
+    re-derives the engine from the (picklable) device and warms its own
+    process-wide kernel store.
+    """
+    require_positive(ratio, "pitch ratio")
+    engine = build_engine(
+        device, pitch=ratio * device.params.ecd, rows=rows, cols=cols,
+        ecc=ecc, workload=pattern, **engine_kwargs)
+    rates = engine.expected_rates(rng=seed)
+    return (rates["raw_ber"], rates["word_fail_rate"], rates["uber"])
+
+
 def uber_sweep(device, pitch_ratios=DEFAULT_PITCH_RATIOS,
                patterns=DEFAULT_PATTERNS, eccs=("none", "secded"),
-               rows=64, cols=64, seed=0, **engine_kwargs):
+               rows=64, cols=64, seed=0, jobs=None, executor=None,
+               **engine_kwargs):
     """Expected UBER over pitch x pattern x ECC.
 
     Returns an :class:`~repro.experiments.base.ExperimentResult` whose
@@ -38,27 +65,40 @@ def uber_sweep(device, pitch_ratios=DEFAULT_PITCH_RATIOS,
     claims: UBER rises as pitch shrinks, and SEC-DED buys orders of
     magnitude at every density.
 
+    ``jobs`` > 1 (or an explicit ``executor`` from
+    :data:`repro.sweep.EXECUTORS`) distributes the grid over a process
+    pool; results are identical to the serial run for the same ``seed``.
     ``engine_kwargs`` pass through to
     :func:`repro.memsys.engine.build_engine` (vp, nominal_wer, ...).
     """
+    pitch_ratios = [float(r)
+                    for r in np.atleast_1d(np.asarray(pitch_ratios))]
+    if not pitch_ratios:
+        raise ParameterError("pitch_ratios must not be empty")
+    for ratio in pitch_ratios:
+        require_positive(ratio, "pitch ratio")
     ecd = device.params.ecd
+    spec = SweepSpec.product(pattern=list(patterns), ecc=list(eccs),
+                             ratio=pitch_ratios)
+    func = partial(_rates_point, device, rows, cols, seed,
+                   engine_kwargs)
+    executor = executor or executor_for_jobs(jobs)
+    sweep_result = SweepRunner(func, executor=executor, jobs=jobs).run(
+        spec)
+
     rows_out = []
     series = {}
     uber_by_key = {}
-    for pattern in patterns:
-        for ecc in eccs:
-            ubers = []
-            for ratio in pitch_ratios:
-                require_positive(ratio, "pitch ratio")
-                engine = build_engine(
-                    device, pitch=ratio * ecd, rows=rows, cols=cols,
-                    ecc=ecc, workload=pattern, **engine_kwargs)
-                rates = engine.expected_rates(rng=seed)
-                ubers.append(rates["uber"])
+    # (pattern, ecc, ratio) grid, ratio fastest — matches the spec.
+    grid = sweep_result.values_array(dtype=float)
+    for i, pattern in enumerate(patterns):
+        for j, ecc in enumerate(eccs):
+            ubers = grid[i, j, :, 2]
+            for r, ratio in enumerate(pitch_ratios):
+                raw_ber, word_fail, uber = grid[i, j, r]
                 rows_out.append((
                     f"{ratio:g}x", ratio * ecd * 1e9, pattern, ecc,
-                    rates["raw_ber"], rates["word_fail_rate"],
-                    rates["uber"]))
+                    raw_ber, word_fail, uber))
             key = (pattern, ecc)
             uber_by_key[key] = np.array(ubers)
             series[f"UBER {pattern}/{ecc}"] = (
@@ -77,7 +117,8 @@ def uber_sweep(device, pitch_ratios=DEFAULT_PITCH_RATIOS,
         extras={"pitch_ratios": list(pitch_ratios),
                 "patterns": list(patterns), "eccs": list(eccs),
                 "uber": {f"{p}/{e}": v.tolist()
-                         for (p, e), v in uber_by_key.items()}},
+                         for (p, e), v in uber_by_key.items()},
+                "sweep": sweep_result.describe()},
     )
 
 
@@ -138,27 +179,50 @@ def _sweep_comparisons(patterns, eccs, pitch_ratios, uber_by_key):
 
 def secded_margin_pitch(device, uber_target, pattern="solid0",
                         ratios=np.linspace(3.0, 1.5, 13), rows=64,
-                        cols=64, seed=0, **engine_kwargs):
+                        cols=64, seed=0, jobs=None, executor=None,
+                        **engine_kwargs):
     """Densest pitch ratio where SEC-DED still meets ``uber_target``.
 
     Scans from the widest ratio down and returns ``(ratio, uber)`` of
-    the last point meeting the target, or ``(None, uber_at_widest)``
-    when even the widest pitch misses it — the quantitative form of
-    "the pitch at which SEC-DED stops hiding coupling-induced WER".
+    the last point meeting the target before the first miss, or
+    ``(None, uber_at_widest)`` when even the widest pitch misses it —
+    the quantitative form of "the pitch at which SEC-DED stops hiding
+    coupling-induced WER". Raises
+    :class:`~repro.errors.ParameterError` for an empty ``ratios``.
+
+    The candidate points are evaluated through the sweep engine
+    (``jobs``/``executor`` as in :func:`uber_sweep`); the scan over the
+    results preserves the sequential early-stop semantics exactly.
     """
     require_positive(uber_target, "uber_target")
-    ecd = device.params.ecd
+    ratios = [float(r) for r in np.atleast_1d(np.asarray(ratios))]
+    if not ratios:
+        raise ParameterError("ratios must not be empty")
+    func = partial(_rates_point, device, rows, cols, seed,
+                   engine_kwargs)
+    executor = executor or executor_for_jobs(jobs)
+    if executor == "serial":
+        # Lazy scan: stop at the first miss, like the pre-engine loop.
+        first_uber = None
+        last = None
+        for ratio in ratios:
+            uber = func(pattern=pattern, ecc="secded", ratio=ratio)[2]
+            if first_uber is None:
+                first_uber = uber
+            if uber <= uber_target:
+                last = (ratio, uber)
+            else:
+                break
+        return last if last is not None else (None, first_uber)
+
+    spec = SweepSpec.product(pattern=[pattern], ecc=["secded"],
+                             ratio=ratios)
+    result = SweepRunner(func, executor=executor, jobs=jobs).run(spec)
+    ubers = [value[2] for value in result.values]
     last = None
-    first_uber = None
-    for ratio in ratios:
-        engine = build_engine(device, pitch=float(ratio) * ecd,
-                              rows=rows, cols=cols, ecc="secded",
-                              workload=pattern, **engine_kwargs)
-        uber = engine.expected_rates(rng=seed)["uber"]
-        if first_uber is None:
-            first_uber = uber
+    for ratio, uber in zip(ratios, ubers):
         if uber <= uber_target:
-            last = (float(ratio), uber)
+            last = (ratio, uber)
         else:
             break
-    return last if last is not None else (None, first_uber)
+    return last if last is not None else (None, ubers[0])

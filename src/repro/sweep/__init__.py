@@ -1,0 +1,47 @@
+"""Generic parameter-sweep engine: specs, runners, structured results.
+
+Every quantitative claim of the paper — and every system-level scenario
+built on it — reduces to evaluating a function over a named parameter
+grid (pitch x pattern x size x temperature ...). This subpackage makes
+that shape first-class:
+
+* :mod:`repro.sweep.spec` — :class:`SweepSpec`: named axes with
+  product/zip composition,
+* :mod:`repro.sweep.runner` — :class:`SweepRunner`: serial,
+  process-pool, and chunked executors with deterministic result order,
+* :mod:`repro.sweep.result` — :class:`SweepResult`: values in spec
+  order, grid reshaping, table rendering.
+
+Quick start::
+
+    from repro.sweep import SweepSpec, run_sweep
+
+    spec = SweepSpec.product(pitch_nm=(60, 70, 80), pattern=("solid0",
+                                                             "random"))
+    result = run_sweep(my_point_function, spec, executor="process",
+                       jobs=4)
+    grid = result.values_array()        # shape (3, 2)
+
+Consumers: :meth:`repro.apps.design_space.DesignSpaceExplorer.sweep`,
+:func:`repro.memsys.sweeps.uber_sweep`,
+:func:`repro.experiments.runner.run_all`, and the ``--jobs`` flags of
+``python -m repro.cli``.
+"""
+
+from .result import SweepResult
+from .runner import (
+    EXECUTORS,
+    SweepRunner,
+    executor_for_jobs,
+    run_sweep,
+)
+from .spec import SweepSpec
+
+__all__ = [
+    "EXECUTORS",
+    "SweepResult",
+    "SweepRunner",
+    "SweepSpec",
+    "executor_for_jobs",
+    "run_sweep",
+]

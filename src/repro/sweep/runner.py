@@ -1,0 +1,142 @@
+"""Sweep execution: one point function, pluggable executors.
+
+The :class:`SweepRunner` evaluates a point function over every point of
+a :class:`~repro.sweep.spec.SweepSpec` and returns a
+:class:`~repro.sweep.result.SweepResult` whose values are always in
+spec order — so serial and parallel runs of a deterministic function
+produce identical results.
+
+Executors:
+
+* ``"serial"`` — a plain loop in the calling process (the default, and
+  the baseline parallel runs are checked against),
+* ``"process"`` — a ``concurrent.futures.ProcessPoolExecutor``, one
+  task per point; the point function and its bound arguments must be
+  picklable (module-level functions / ``functools.partial`` of them),
+* ``"chunked"`` — the process pool again, but points are submitted in
+  contiguous chunks to amortize pickling and per-task overhead; right
+  for many cheap points.
+
+Worker processes each warm their own
+:class:`~repro.arrays.kernel_store.KernelStore`, so chunking also
+maximizes kernel reuse within a worker.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+from ..errors import ParameterError
+from ..validation import require_int_in_range
+from .result import SweepResult
+from .spec import SweepSpec
+
+#: The executor registry (name -> SweepRunner method suffix).
+EXECUTORS = ("serial", "process", "chunked")
+
+
+def _apply_point(func, params):
+    """Evaluate one point (module-level for picklability)."""
+    return func(**params)
+
+
+def _apply_chunk(func, chunk):
+    """Evaluate a contiguous chunk of points in one task."""
+    return [func(**params) for params in chunk]
+
+
+class SweepRunner:
+    """Evaluates ``func(**point)`` over a spec with a chosen executor.
+
+    Parameters
+    ----------
+    func:
+        The point function; called with one keyword argument per spec
+        axis. For the process executors it must be picklable — a
+        module-level function or a :func:`functools.partial` of one.
+    executor:
+        One of :data:`EXECUTORS`. ``"serial"`` ignores ``jobs``.
+    jobs:
+        Worker-process count for the pool executors; None lets
+        ``ProcessPoolExecutor`` pick (``os.cpu_count()``).
+    chunk_size:
+        Points per task for ``"chunked"``; default splits the sweep
+        into ~4 chunks per worker.
+    """
+
+    def __init__(self, func, executor="serial", jobs=None,
+                 chunk_size=None):
+        if not callable(func):
+            raise ParameterError(f"func must be callable, got {func!r}")
+        if executor not in EXECUTORS:
+            raise ParameterError(
+                f"executor must be one of {EXECUTORS}, got {executor!r}")
+        if jobs is not None:
+            require_int_in_range(jobs, "jobs", 1, 4096)
+        if chunk_size is not None:
+            require_int_in_range(chunk_size, "chunk_size", 1, 1_000_000)
+        self.func = func
+        self.executor = executor
+        self.jobs = jobs
+        self.chunk_size = chunk_size
+
+    def run(self, spec):
+        """Evaluate every point of ``spec``; returns a SweepResult."""
+        if not isinstance(spec, SweepSpec):
+            raise ParameterError(
+                f"spec must be a SweepSpec, got {type(spec)!r}")
+        start = time.perf_counter()
+        if self.executor == "serial":
+            values = [self.func(**params) for params in spec]
+        elif self.executor == "process":
+            values = self._run_pool(spec.points())
+        else:
+            values = self._run_chunked(spec.points())
+        elapsed = time.perf_counter() - start
+        return SweepResult(spec=spec, values=values,
+                           executor=self.executor,
+                           jobs=self._effective_jobs(), elapsed=elapsed)
+
+    def _effective_jobs(self):
+        if self.executor == "serial":
+            return 1
+        if self.jobs is not None:
+            return self.jobs
+        import os
+        return os.cpu_count() or 1
+
+    def _run_pool(self, points):
+        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+            return list(pool.map(
+                _apply_point, [self.func] * len(points), points))
+
+    def _run_chunked(self, points):
+        n_workers = self._effective_jobs()
+        chunk = self.chunk_size or max(
+            1, -(-len(points) // (4 * n_workers)))
+        chunks = [points[i:i + chunk]
+                  for i in range(0, len(points), chunk)]
+        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+            nested = pool.map(_apply_chunk, [self.func] * len(chunks),
+                              chunks)
+        return [value for part in nested for value in part]
+
+
+def run_sweep(func, spec, executor="serial", jobs=None, chunk_size=None):
+    """One-call convenience: build a runner and run ``spec``."""
+    return SweepRunner(func, executor=executor, jobs=jobs,
+                       chunk_size=chunk_size).run(spec)
+
+
+def executor_for_jobs(jobs, default="serial", parallel="process"):
+    """Map a CLI-style ``--jobs`` value onto an executor name.
+
+    ``None`` or 1 mean the serial baseline; anything larger selects the
+    parallel executor. Used by the CLI subcommands and sweep consumers
+    so ``--jobs`` alone toggles parallelism.
+    """
+    if jobs is None or jobs == 1:
+        return default
+    require_int_in_range(jobs, "jobs", 1, 4096)
+    return parallel

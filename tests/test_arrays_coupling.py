@@ -80,11 +80,19 @@ class TestPaperAnchors:
 class TestPatternAlgebra:
     @settings(max_examples=40, deadline=None)
     @given(NP8_INTS)
-    def test_fast_equals_slow(self, value):
+    def test_symmetry_path_equals_per_position_sum(self, value):
+        # hz_inter is symmetry-reduced; check it against the explicit
+        # 8-position kernel sum it replaced.
         coupling = InterCellCoupling(build_reference_stack(55e-9), 90e-9)
         pattern = NeighborhoodPattern.from_int(value)
-        assert coupling.hz_inter_fast(pattern) == pytest.approx(
-            coupling.hz_inter(pattern), rel=1e-9)
+        reference = sum(
+            coupling._kernel(pos, "fixed") + sign * coupling._kernel(
+                pos, "fl")
+            for pos, sign in zip(
+                coupling.neighborhood.aggressor_positions(),
+                pattern.signs()))
+        assert coupling.hz_inter(pattern) == pytest.approx(reference,
+                                                           rel=1e-9)
 
     @settings(max_examples=40, deadline=None)
     @given(NP8_INTS)
@@ -128,12 +136,17 @@ class TestPitchScaling:
         coupling = InterCellCoupling(stack, 200e-9)
         assert am_to_oe(coupling.max_variation()) < 3.0
 
-    def test_kernel_cache_reused(self, coupling55):
+    def test_kernel_store_reused(self, coupling55):
+        from repro.arrays import get_kernel_store
+        store = get_kernel_store()
         coupling55.kernels()
-        n_before = len(coupling55._kernel_cache)
+        n_before = len(store)
         coupling55.hz_inter_all()
         coupling55.class_table()
-        assert len(coupling55._kernel_cache) == n_before
+        # Same geometry -> every further lookup hits the shared store.
+        assert len(store) == n_before
+        InterCellCoupling(build_reference_stack(55e-9), 90e-9).kernels()
+        assert len(store) == n_before
 
     def test_validation(self):
         with pytest.raises(ParameterError):

@@ -1,0 +1,127 @@
+"""Tests for the process-wide kernel store and stack fingerprinting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arrays import InterCellCoupling, KernelStore, get_kernel_store
+from repro.arrays.kernel_store import stack_fingerprint
+from repro.errors import ParameterError
+from repro.fields import LoopCollection, layer_to_loops
+from repro.stack import build_reference_stack
+
+
+@pytest.fixture
+def store():
+    """A private store, isolated from the process-wide singleton."""
+    return KernelStore()
+
+
+@pytest.fixture(scope="module")
+def stack():
+    return build_reference_stack(55e-9)
+
+
+class TestHitMiss:
+    def test_first_lookup_misses_second_hits(self, store, stack):
+        offset = (90e-9, 0.0)
+        a = store.kernel(stack, offset, "fl")
+        assert store.stats() == {"entries": 1, "hits": 0, "misses": 1}
+        b = store.kernel(stack, offset, "fl")
+        assert store.stats() == {"entries": 1, "hits": 1, "misses": 1}
+        assert a == b
+
+    def test_kinds_are_distinct_entries(self, store, stack):
+        offset = (90e-9, 0.0)
+        fl = store.kernel(stack, offset, "fl")
+        fixed = store.kernel(stack, offset, "fixed")
+        assert len(store) == 2
+        assert fl != fixed
+
+    def test_equal_stacks_share_entries(self, store):
+        a = build_reference_stack(55e-9)
+        b = build_reference_stack(55e-9)
+        store.kernel(a, (90e-9, 0.0), "fl")
+        store.kernel(b, (90e-9, 0.0), "fl")
+        assert store.stats()["hits"] == 1
+        assert len(store) == 1
+
+    def test_clear_resets(self, store, stack):
+        store.kernel(stack, (90e-9, 0.0), "fl")
+        store.clear()
+        assert store.stats() == {"entries": 0, "hits": 0, "misses": 0}
+
+    def test_value_matches_direct_evaluation(self, store, stack):
+        offset = (70e-9, 70e-9)
+        loops = layer_to_loops(stack.free_layer, stack.radius,
+                               center_xy=offset, direction=+1)
+        expected = float(
+            LoopCollection(loops).field((0.0, 0.0, 0.0))[2])
+        assert store.kernel(stack, offset, "fl") == pytest.approx(
+            expected, rel=1e-12)
+
+
+class TestFingerprint:
+    def test_deterministic(self, stack):
+        assert stack_fingerprint(stack) == stack_fingerprint(
+            build_reference_stack(55e-9))
+
+    def test_moment_change_invalidates(self, stack, store):
+        from repro.geometry import LayerRole
+        modified = stack.with_layer_ms(LayerRole.REFERENCE, 2.0e5)
+        assert stack_fingerprint(modified) != stack_fingerprint(stack)
+        store.kernel(stack, (90e-9, 0.0), "fixed")
+        store.kernel(modified, (90e-9, 0.0), "fixed")
+        assert len(store) == 2
+        assert store.stats()["hits"] == 0
+
+    def test_ecd_change_invalidates(self, stack):
+        assert stack_fingerprint(build_reference_stack(35e-9)) != \
+            stack_fingerprint(stack)
+
+    def test_temperature_scales_fingerprint(self, stack, store):
+        cold = stack_fingerprint(stack, temperature=None)
+        hot = stack_fingerprint(stack, temperature=400.0)
+        assert cold != hot
+        store.kernel(stack, (90e-9, 0.0), "fl")
+        store.kernel(stack, (90e-9, 0.0), "fl", temperature=400.0)
+        assert len(store) == 2
+
+    def test_rejects_non_stack(self):
+        with pytest.raises(ParameterError):
+            stack_fingerprint("not a stack")
+
+    def test_evaluation_point_keys_entries(self, store, stack):
+        store.kernel(stack, (90e-9, 0.0), "fl")
+        store.kernel(stack, (90e-9, 0.0), "fl",
+                     evaluation_point=(0.0, 0.0, 1e-9))
+        assert len(store) == 2
+
+    def test_unknown_kind_rejected(self, store, stack):
+        with pytest.raises(ParameterError):
+            store.kernel(stack, (90e-9, 0.0), "bogus")
+
+
+class TestSharedAcrossConsumers:
+    def test_coupling_instances_share_global_store(self, stack):
+        store = get_kernel_store()
+        InterCellCoupling(stack, 91e-9).kernels()
+        stats_before = store.stats()
+        InterCellCoupling(stack, 91e-9).kernels()
+        stats_after = store.stats()
+        assert stats_after["entries"] == stats_before["entries"]
+        assert stats_after["hits"] >= stats_before["hits"] + 4
+
+    def test_coupling_matches_store_value(self, stack):
+        coupling = InterCellCoupling(stack, 90e-9)
+        direct = coupling.neighborhood.aggressor_positions()[0]
+        assert coupling._kernel(direct, "fl") == pytest.approx(
+            get_kernel_store().kernel(stack, direct, "fl"), rel=1e-15)
+
+    def test_temperature_coupling_uses_scaled_kernels(self, stack):
+        warm = InterCellCoupling(stack, 90e-9, temperature=350.0)
+        cold = InterCellCoupling(stack, 90e-9)
+        # Bloch scaling weakens the moments -> weaker kernels.
+        assert abs(warm.kernels().fl_direct) < abs(
+            cold.kernels().fl_direct)

@@ -6,6 +6,7 @@ import csv
 import json
 import os
 
+import numpy as np
 import pytest
 
 from repro.memsys import secded_margin_pitch, uber_sweep
@@ -71,6 +72,37 @@ class TestMarginPitch:
                                           rows=16, cols=16)
         assert ratio is None
         assert uber > 1e-30
+
+    def test_empty_ratios_raises(self, device):
+        from repro.errors import ParameterError
+        with pytest.raises(ParameterError, match="ratios"):
+            secded_margin_pitch(device, uber_target=1e-4, ratios=[])
+        with pytest.raises(ParameterError, match="ratios"):
+            secded_margin_pitch(device, uber_target=1e-4,
+                                ratios=np.array([]))
+
+    def test_invalid_target_raises(self, device):
+        from repro.errors import ParameterError
+        with pytest.raises(ParameterError):
+            secded_margin_pitch(device, uber_target=0.0)
+
+
+class TestEmptySweepValidation:
+    def test_numpy_ratio_array_accepted(self, device):
+        result = uber_sweep(device, pitch_ratios=np.array([3.0, 1.5]),
+                            patterns=("solid0",), rows=16, cols=16)
+        assert len(result.rows) == 4  # 2 ratios x 1 pattern x 2 eccs
+
+    def test_empty_pitch_ratios_raises(self, device):
+        from repro.errors import ParameterError
+        with pytest.raises(ParameterError, match="pitch_ratios"):
+            uber_sweep(device, pitch_ratios=())
+
+    def test_nonpositive_ratio_raises(self, device):
+        from repro.errors import ParameterError
+        with pytest.raises(ParameterError):
+            uber_sweep(device, pitch_ratios=(3.0, -1.0), rows=16,
+                       cols=16)
 
 
 class TestExport:

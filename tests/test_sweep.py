@@ -1,0 +1,183 @@
+"""Tests for the generic sweep engine (spec, runner, result).
+
+The determinism tests are the acceptance criterion of the subsystem:
+parallel and serial executors must produce identical results for the
+same spec and seeds, including for the seeded memsys sweep and the
+figure runner.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.sweep import (
+    EXECUTORS,
+    SweepResult,
+    SweepRunner,
+    SweepSpec,
+    executor_for_jobs,
+    run_sweep,
+)
+from repro.validation import require_positive
+
+
+class TestSweepSpec:
+    def test_product_order_first_axis_slowest(self):
+        spec = SweepSpec.product(a=(1, 2), b=(10, 20, 30))
+        assert len(spec) == 6
+        assert spec.shape == (2, 3)
+        assert spec.point(0) == {"a": 1, "b": 10}
+        assert spec.point(3) == {"a": 2, "b": 10}
+
+    def test_zipped_pairs_elementwise(self):
+        spec = SweepSpec.zipped(x=(1, 2, 3), label=("a", "b", "c"))
+        assert len(spec) == 3
+        assert spec.shape == (3,)
+        assert spec.point(1) == {"x": 2, "label": "b"}
+
+    def test_zipped_rejects_unequal_lengths(self):
+        with pytest.raises(ParameterError):
+            SweepSpec.zipped(x=(1, 2), y=(1,))
+
+    def test_compose_product(self):
+        grid = SweepSpec.product(a=(1, 2)) * SweepSpec.zipped(
+            b=(3, 4), c=("p", "q"))
+        assert len(grid) == 4
+        assert grid.shape == (2, 2)
+        assert grid.point(1) == {"a": 1, "b": 4, "c": "q"}
+        assert grid.names == ("a", "b", "c")
+
+    def test_compose_rejects_shared_axes(self):
+        with pytest.raises(ParameterError):
+            SweepSpec.product(a=(1,)) * SweepSpec.product(a=(2,))
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ParameterError):
+            SweepSpec.product(a=())
+        with pytest.raises(ParameterError):
+            SweepSpec.product()
+
+    def test_points_are_copies(self):
+        spec = SweepSpec.product(a=(1,))
+        spec.points()[0]["a"] = 99
+        assert spec.point(0) == {"a": 1}
+
+
+class TestSweepResult:
+    def test_values_array_reshapes_to_grid(self):
+        spec = SweepSpec.product(a=(1, 2, 3), b=(10, 20))
+        result = run_sweep(require_positive_product, spec)
+        grid = result.values_array()
+        assert grid.shape == (3, 2)
+        assert grid[2, 1] == 60
+
+    def test_tuple_values_get_trailing_axis(self):
+        spec = SweepSpec.product(a=(1.0, 2.0))
+        result = SweepResult(spec=spec, values=[(1.0, 2.0), (3.0, 4.0)])
+        assert result.values_array(dtype=float).shape == (2, 2)
+
+    def test_to_rows(self):
+        spec = SweepSpec.product(a=(1, 2), b=(5,))
+        result = run_sweep(require_positive_product, spec)
+        headers, rows = result.to_rows(value_columns=["prod"])
+        assert headers == ["a", "b", "prod"]
+        assert rows == [(1, 5, 5), (2, 5, 10)]
+
+    def test_value_at(self):
+        spec = SweepSpec.product(a=(1, 2), b=(5, 7))
+        result = run_sweep(require_positive_product, spec)
+        assert result.value_at(a=2, b=7) == 14
+        with pytest.raises(ParameterError):
+            result.value_at(a=99)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ParameterError):
+            SweepResult(spec=SweepSpec.product(a=(1, 2)), values=[1])
+
+
+def require_positive_product(a, b):
+    """Module-level picklable point function: a * b."""
+    require_positive(a, "a")
+    require_positive(b, "b")
+    return a * b
+
+
+class TestSweepRunner:
+    def test_rejects_unknown_executor(self):
+        with pytest.raises(ParameterError):
+            SweepRunner(require_positive_product, executor="threads")
+
+    def test_rejects_non_callable(self):
+        with pytest.raises(ParameterError):
+            SweepRunner(42)
+
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_all_executors_agree(self, executor):
+        spec = SweepSpec.product(a=(1, 2, 3, 4, 5), b=(2, 3))
+        result = run_sweep(require_positive_product, spec,
+                           executor=executor, jobs=2, chunk_size=3)
+        assert result.values == [a * b for a in (1, 2, 3, 4, 5)
+                                 for b in (2, 3)]
+        assert result.executor == executor
+
+    def test_executor_for_jobs(self):
+        assert executor_for_jobs(None) == "serial"
+        assert executor_for_jobs(1) == "serial"
+        assert executor_for_jobs(4) == "process"
+        with pytest.raises(ParameterError):
+            executor_for_jobs(0)
+
+    def test_worker_error_propagates(self):
+        spec = SweepSpec.product(a=(1, -1), b=(2,))
+        with pytest.raises(ParameterError):
+            run_sweep(require_positive_product, spec)
+        with pytest.raises(ParameterError):
+            run_sweep(require_positive_product, spec,
+                      executor="process", jobs=2)
+
+
+@pytest.mark.integration
+class TestSeededSweepDeterminism:
+    """Acceptance: parallel == serial for the seeded consumers."""
+
+    def test_memsys_uber_sweep_parallel_equals_serial(self):
+        from repro.device import MTJDevice, PAPER_EVAL_DEVICE
+        from repro.memsys import uber_sweep
+        device = MTJDevice(PAPER_EVAL_DEVICE)
+        kwargs = dict(pitch_ratios=(3.0, 1.5), patterns=("solid0",),
+                      rows=16, cols=16, seed=3)
+        serial = uber_sweep(device, **kwargs)
+        parallel = uber_sweep(device, jobs=2, **kwargs)
+        chunked = uber_sweep(device, executor="chunked", jobs=2,
+                             **kwargs)
+        assert serial.rows == parallel.rows == chunked.rows
+        assert serial.extras["uber"] == parallel.extras["uber"]
+
+    def test_design_space_parallel_equals_serial(self):
+        from repro.apps import DesignSpaceExplorer
+        from repro.device import PAPER_EVAL_DEVICE
+        explorer = DesignSpaceExplorer(PAPER_EVAL_DEVICE)
+        serial = explorer.sweep([30e-9, 35e-9], [2.0, 3.0])
+        parallel = explorer.sweep([30e-9, 35e-9], [2.0, 3.0], jobs=2)
+        assert serial == parallel  # DesignPoint is a frozen dataclass.
+
+    def test_run_all_parallel_equals_serial(self, monkeypatch):
+        # Shrink the registry to two real figures to keep this fast;
+        # workers resolve the names against the full registry, so the
+        # patched subset only narrows what the parent schedules.
+        from repro.experiments import runner
+        subset = {k: runner.EXPERIMENTS[k] for k in ("fig4a", "fig4b")}
+        monkeypatch.setattr(runner, "EXPERIMENTS", subset)
+        serial = runner.run_all()
+        parallel = runner.run_all(jobs=2)
+        assert list(serial) == list(parallel) == ["fig4a", "fig4b"]
+        for name in serial:
+            a, b = serial[name], parallel[name]
+            assert a.rows == b.rows
+            assert a.comparisons == b.comparisons
+            assert set(a.series) == set(b.series)
+            for key in a.series:
+                np.testing.assert_array_equal(a.series[key][1],
+                                              b.series[key][1])
