@@ -27,6 +27,26 @@ def pytest_collection_modifyitems(items):
             item.add_marker(pytest.mark.bench)
 
 
+@pytest.fixture(autouse=True)
+def isolated_kernel_store(monkeypatch):
+    """Give every bench a cold, memory-only process-wide kernel store.
+
+    The store is process-wide by design, so without this reset a bench
+    that runs after another would time warm lookups (and read polluted
+    hit/miss stats) instead of the cold-start behavior it claims to
+    measure. Disk backing is stripped too: an operator's
+    ``REPRO_KERNEL_CACHE`` must not turn a cold-path bench into a disk
+    read. Benches that want a warm store warm it themselves.
+    """
+    from repro.arrays.kernel_store import get_kernel_store
+    monkeypatch.delenv("REPRO_KERNEL_CACHE", raising=False)
+    store = get_kernel_store()
+    store.detach_disk()
+    store.clear()
+    yield store
+    store.clear()
+
+
 def print_result(result, max_rows=8):
     """Print an experiment's headline table and comparisons."""
     from repro.experiments import render

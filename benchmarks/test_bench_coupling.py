@@ -73,14 +73,7 @@ def _baseline_grid():
 def _vectorized_grid():
     """The shipped evaluation of the same grid, from a cold store."""
     get_kernel_store().clear()
-    results = {}
-    for ecd in SIZES:
-        stack = build_reference_stack(ecd)
-        for ratio in RATIOS:
-            coupling = InterCellCoupling(stack, float(ratio) * ecd)
-            results[(ecd, float(ratio))] = coupling.hz_inter_batch(
-                ALL_NP8)
-    return results
+    return _vectorized_grid_no_clear()
 
 
 def test_kernel_grid_vectorized_5x_speedup(benchmark):

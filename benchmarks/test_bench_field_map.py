@@ -1,0 +1,90 @@
+"""Before/after bench for the batched full-array field map.
+
+``array_field_map`` used to evaluate every interior cell with a Python
+loop — ``neighborhood_of(row, col)`` decoding plus four kernel-store
+lookups (fingerprint hashing included) *per cell*. The shipped path
+computes the whole map as one numpy expression over shifted slices of
+the bit array, with the four symmetry-reduced kernels fetched once
+through ``KernelStore.kernel_batch``.
+
+This bench reconstructs the pre-batch per-cell loop faithfully as the
+baseline and asserts the acceptance criteria on a 64x64 map: the
+vectorized map is bit-identical (NaN border included) and >= 3x faster.
+The kernel-store is warmed before either path is timed, so the
+comparison isolates the map assembly itself.
+"""
+
+import time
+
+import numpy as np
+
+from repro.arrays import ArrayLayout, InterCellCoupling
+from repro.arrays.pattern import random_pattern
+from repro.arrays.victim import array_field_map
+from repro.device import MTJDevice, PAPER_EVAL_DEVICE
+
+ROWS = COLS = 64
+
+
+def _loop_field_map(device, layout, data_pattern):
+    """The pre-batch implementation, reconstructed faithfully."""
+    rows, cols = layout.rows, layout.cols
+    coupling = InterCellCoupling(device.stack, layout.pitch)
+    intra = device.intra_stray_field()
+    out = np.full((rows, cols), np.nan)
+    for row in range(1, rows - 1):
+        for col in range(1, cols - 1):
+            np8 = data_pattern.neighborhood_of(row, col)
+            out[row, col] = intra + coupling.hz_inter_fast(np8)
+    return out
+
+
+def test_array_field_map_batch_3x_speedup(benchmark):
+    device = MTJDevice(PAPER_EVAL_DEVICE)
+    layout = ArrayLayout(pitch=2.0 * device.params.ecd, rows=ROWS,
+                         cols=COLS)
+    pattern = random_pattern(ROWS, COLS, rng=7)
+
+    # Warm the four kernels so both paths time map assembly, not the
+    # one-off elliptic-integral work.
+    InterCellCoupling(device.stack, layout.pitch).kernels()
+
+    t0 = time.perf_counter()
+    baseline = _loop_field_map(device, layout, pattern)
+    t_baseline = time.perf_counter() - t0
+
+    vectorized = benchmark.pedantic(
+        lambda: array_field_map(device, layout, pattern), rounds=3,
+        iterations=1)
+
+    # Machine-precision acceptance: identical bits, NaN border included.
+    np.testing.assert_array_equal(vectorized, baseline)
+
+    t_vectorized = benchmark.stats.stats.min
+    speedup = t_baseline / t_vectorized
+    print(f"\narray_field_map ({ROWS}x{COLS}): per-cell loop "
+          f"{t_baseline * 1e3:.1f} ms, batched {t_vectorized * 1e3:.2f}"
+          f" ms -> {speedup:.0f}x")
+    assert speedup >= 3.0, (
+        f"batched field map only {speedup:.1f}x faster than the "
+        f"per-cell loop (acceptance: >= 3x)")
+
+
+def test_kernel_batch_matches_scalar_on_window(benchmark):
+    """Batch kernels of a 5x5 window: parity + cold-store timing."""
+    from repro.arrays.kernel_store import KernelStore
+    device = MTJDevice(PAPER_EVAL_DEVICE)
+    pitch = 2.0 * device.params.ecd
+    offsets = [(i * pitch, j * pitch)
+               for i in range(-2, 3) for j in range(-2, 3)
+               if (i, j) != (0, 0)]
+
+    def cold_batch():
+        store = KernelStore()
+        return store.kernel_batch(device.stack, offsets, "fl")
+
+    batch = benchmark.pedantic(cold_batch, rounds=3, iterations=1)
+    scalar_store = KernelStore()
+    scalar = np.array([scalar_store.kernel(device.stack, off, "fl")
+                       for off in offsets])
+    np.testing.assert_array_equal(batch, scalar)

@@ -9,7 +9,10 @@ Named ``arrays`` (plural) to avoid shadowing the stdlib ``array`` module.
 * :mod:`repro.arrays.coupling` — the inter-cell stray-field model
   (Section IV-B) built on symmetry-reduced kernels,
 * :mod:`repro.arrays.kernel_store` — process-wide memoized store of the
-  stray-field kernels shared by every coupling-model consumer,
+  stray-field kernels shared by every coupling-model consumer (scalar
+  and batched lookups),
+* :mod:`repro.arrays.kernel_disk` — the store's persistent on-disk
+  backend (versioned, checksummed, memory-mapped),
 * :mod:`repro.arrays.victim` — combined intra+inter analysis of a victim
   cell,
 * :mod:`repro.arrays.density` — areal-density bookkeeping.
@@ -18,6 +21,11 @@ Named ``arrays`` (plural) to avoid shadowing the stdlib ``array`` module.
 from .coupling import CouplingKernels, InterCellCoupling
 from .density import areal_density_gbit_per_mm2, cell_area, density_table
 from .extended import ExtendedNeighborhood, fast_array_field_map
+from .kernel_disk import (
+    KERNEL_CACHE_ENV,
+    DiskKernelCache,
+    KernelCacheError,
+)
 from .kernel_store import KernelStore, get_kernel_store, stack_fingerprint
 from .retention_map import RetentionMap, retention_map
 from .statistics import (
@@ -40,7 +48,10 @@ __all__ = [
     "ArrayLayout",
     "CouplingKernels",
     "DataPattern",
+    "DiskKernelCache",
     "ExtendedNeighborhood",
+    "KERNEL_CACHE_ENV",
+    "KernelCacheError",
     "FieldDistribution",
     "InterCellCoupling",
     "KernelStore",

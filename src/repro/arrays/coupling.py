@@ -81,8 +81,13 @@ class InterCellCoupling:
     pitch:
         Array pitch [m].
     evaluation_point:
-        Where on the victim FL the field is evaluated; default is the FL
-        center (0, 0, 0), the paper's calibration point.
+        Where on the victim axis the field is evaluated; default is the
+        FL center (0, 0, 0), the paper's calibration point. Must lie ON
+        the axis (x = y = 0): the whole model rests on the 4-fold
+        symmetry that collapses the 8 neighbors onto one direct and one
+        diagonal kernel, which only holds there. Off-axis sampling
+        needs the per-position kernels of
+        :class:`~repro.arrays.extended.ExtendedNeighborhood`.
     """
 
     def __init__(self, stack, pitch, evaluation_point=(0.0, 0.0, 0.0),
@@ -95,7 +100,19 @@ class InterCellCoupling:
         self.pitch = float(pitch)
         self.neighborhood = Neighborhood3x3(pitch=self.pitch)
         self.evaluation_point = np.asarray(evaluation_point, dtype=float)
+        if self.evaluation_point.shape != (3,):
+            raise ParameterError(
+                f"evaluation_point must have 3 components, got "
+                f"{self.evaluation_point.shape}")
+        if self.evaluation_point[0] != 0.0 or \
+                self.evaluation_point[1] != 0.0:
+            raise ParameterError(
+                "evaluation_point must lie on the victim axis "
+                "(x = y = 0) — the symmetry-reduced kernels are wrong "
+                "off-axis; use ExtendedNeighborhood for per-position "
+                f"sampling. Got {tuple(self.evaluation_point)}")
         self.temperature = temperature
+        self._kernels = None
 
     # -- kernels -----------------------------------------------------------
 
@@ -112,15 +129,32 @@ class InterCellCoupling:
             temperature=self.temperature)
 
     def kernels(self):
-        """The four symmetry-reduced kernels of this geometry."""
-        direct = self.neighborhood.aggressor_positions()[0]
-        diagonal = self.neighborhood.aggressor_positions()[4]
-        return CouplingKernels(
-            fixed_direct=self._kernel(direct, "fixed"),
-            fixed_diagonal=self._kernel(diagonal, "fixed"),
-            fl_direct=self._kernel(direct, "fl"),
-            fl_diagonal=self._kernel(diagonal, "fl"),
-        )
+        """The four symmetry-reduced kernels of this geometry.
+
+        Fetched once per instance through the store's batch path (two
+        two-offset batches, sharing cache keys with the scalar
+        :meth:`_kernel` exactly) and memoized — pattern sweeps call
+        this per pattern, and the instance is immutable after
+        construction.
+        """
+        if self._kernels is None:
+            positions = self.neighborhood.aggressor_positions()
+            offsets = (positions[0], positions[4])  # direct, diagonal
+            store = get_kernel_store()
+            point = tuple(self.evaluation_point)
+            fixed = store.kernel_batch(self.stack, offsets, "fixed",
+                                       evaluation_point=point,
+                                       temperature=self.temperature)
+            fl = store.kernel_batch(self.stack, offsets, "fl",
+                                    evaluation_point=point,
+                                    temperature=self.temperature)
+            self._kernels = CouplingKernels(
+                fixed_direct=float(fixed[0]),
+                fixed_diagonal=float(fixed[1]),
+                fl_direct=float(fl[0]),
+                fl_diagonal=float(fl[1]),
+            )
+        return self._kernels
 
     # -- pattern fields ------------------------------------------------------
 

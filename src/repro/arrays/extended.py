@@ -50,23 +50,28 @@ class ExtendedNeighborhood:
                 for j in range(-k, k + 1)
                 if (i, j) != (0, 0)]
 
-    def _kernel_pair(self, offset):
-        """(fixed, fl_p) Hz kernels [A/m] of the neighbor at ``offset``.
-
-        Memoized process-wide (same store as the 3x3 model, so the ring-1
-        kernels are shared with :class:`~repro.arrays.coupling.
-        InterCellCoupling` at the same stack and pitch).
-        """
-        dx, dy = offset[0] * self.pitch, offset[1] * self.pitch
-        store = get_kernel_store()
-        return (store.kernel(self.stack, (dx, dy), "fixed"),
-                store.kernel(self.stack, (dx, dy), "fl"))
-
     def kernels(self):
-        """``{offset: (fixed, fl_p)}`` for every neighbor (cached)."""
+        """``{offset: (fixed, fl_p)}`` for every neighbor (cached).
+
+        All (2k+1)^2 - 1 neighbor kernels of each kind are fetched in
+        one :meth:`~repro.arrays.kernel_store.KernelStore.kernel_batch`
+        call — every store miss of the window is a single broadcasted
+        field evaluation rather than a per-offset Python loop. The
+        store keys are those of scalar ``kernel`` lookups at the same
+        lateral offsets, so the ring-1 entries are shared with
+        :class:`~repro.arrays.coupling.InterCellCoupling` at the same
+        stack and pitch.
+        """
         if self._kernels is None:
-            self._kernels = {off: self._kernel_pair(off)
-                             for off in self.offsets()}
+            offsets = self.offsets()
+            lateral = [(i * self.pitch, j * self.pitch)
+                       for i, j in offsets]
+            store = get_kernel_store()
+            fixed = store.kernel_batch(self.stack, lateral, "fixed")
+            fl = store.kernel_batch(self.stack, lateral, "fl")
+            self._kernels = {
+                off: (float(fx), float(fp))
+                for off, fx, fp in zip(offsets, fixed, fl)}
         return self._kernels
 
     def hz_inter(self, data_signs):

@@ -123,6 +123,14 @@ def array_field_map(device, layout, data_pattern):
     plus the inter-cell field of its 8-neighborhood extracted from
     ``data_pattern``. Returns a (rows, cols) array with NaN on the border
     (border cells lack a full neighborhood).
+
+    The whole map is one numpy expression: the direct/diagonal AP
+    counts of every interior cell come from shifted slices of the bit
+    array, and the four symmetry-reduced kernels come from the store's
+    batch path — value-identical to evaluating
+    ``hz_inter_fast(neighborhood_of(row, col))`` per cell (the
+    pre-batch implementation, reconstructed as the baseline of
+    ``benchmarks/test_bench_field_map.py``).
     """
     rows, cols = layout.rows, layout.cols
     if data_pattern.shape != (rows, cols):
@@ -132,8 +140,15 @@ def array_field_map(device, layout, data_pattern):
     coupling = InterCellCoupling(device.stack, layout.pitch)
     intra = device.intra_stray_field()
     out = np.full((rows, cols), np.nan)
-    for row in range(1, rows - 1):
-        for col in range(1, cols - 1):
-            np8 = data_pattern.neighborhood_of(row, col)
-            out[row, col] = intra + coupling.hz_inter_fast(np8)
+    bits = data_pattern.bits
+    n_dir = (bits[:-2, 1:-1] + bits[2:, 1:-1]
+             + bits[1:-1, :-2] + bits[1:-1, 2:])
+    n_diag = (bits[:-2, :-2] + bits[:-2, 2:]
+              + bits[2:, :-2] + bits[2:, 2:])
+    k = coupling.kernels()
+    # Parenthesized to add intra LAST, exactly like the per-cell
+    # ``intra + hz_inter_fast(np8)`` it replaces (bit-identical maps).
+    out[1:-1, 1:-1] = intra + (k.pattern_independent
+                               + (4 - 2 * n_dir) * k.fl_direct
+                               + (4 - 2 * n_diag) * k.fl_diagonal)
     return out

@@ -7,6 +7,7 @@ Subcommands::
     python -m repro.cli design --ecds-nm 25,35,45  design-space table
     python -m repro.cli wer --vp 0.95 [...]        write-error pulse sizing
     python -m repro.cli memsys --pitch-nm 70 [...] system-level UBER
+    python -m repro.cli cache info|clear|warm      on-disk kernel cache
     python -m repro.cli model-card --out DIR       compact-model export
 
 Stochastic subcommands (``wer``, ``memsys``) accept ``--seed N``; every
@@ -15,7 +16,14 @@ so identical invocations print identical numbers.
 
 Sweep-shaped subcommands (``reproduce``, ``design``, ``memsys``) accept
 ``--jobs N`` to fan the underlying :mod:`repro.sweep` grid out over N
-worker processes; results are identical to the serial run.
+workers; results are identical to the serial run. ``--executor`` picks
+the worker flavor explicitly (``thread`` parallelizes inside one
+process and shares its kernel store; ``process``/``chunked`` fork).
+
+``cache`` manages the persistent kernel cache that the
+``REPRO_KERNEL_CACHE`` environment variable enables: ``info`` inspects
+it, ``clear`` deletes it, ``warm`` precomputes the coupling kernels of
+a geometry x pitch grid so later sweeps start warm.
 """
 
 from __future__ import annotations
@@ -38,20 +46,13 @@ def _generator(args):
     return np.random.default_rng(args.seed)
 
 
-def _jobs_arg(value):
-    """argparse type for ``--jobs``: a positive worker count."""
-    jobs = int(value)
-    if jobs < 1:
-        raise argparse.ArgumentTypeError(
-            f"--jobs must be >= 1, got {jobs}")
-    return jobs
-
-
 def _cmd_reproduce(args):
     from .experiments.runner import main as runner_main
     argv = [args.out] if args.out else []
     if args.jobs:
         argv += ["--jobs", str(args.jobs)]
+    if args.executor:
+        argv += ["--executor", args.executor]
     return runner_main(argv)
 
 
@@ -75,7 +76,8 @@ def _cmd_design(args):
     ratios = [float(v) for v in args.ratios.split(",")]
     explorer = DesignSpaceExplorer(PAPER_EVAL_DEVICE,
                                    probe_voltage=args.vp)
-    points = explorer.sweep(ecds, ratios, jobs=args.jobs)
+    points = explorer.sweep(ecds, ratios, jobs=args.jobs,
+                            executor=args.executor)
     print(format_table(DESIGN_HEADERS, [p.row() for p in points],
                        float_format=".3g"))
     return 0
@@ -129,7 +131,8 @@ def _cmd_memsys(args):
 
     seed = 0 if args.seed is None else args.seed
     sweep = uber_sweep(device, rows=args.rows, cols=args.cols,
-                       seed=seed, jobs=args.jobs, vp=args.vp,
+                       seed=seed, jobs=args.jobs,
+                       executor=args.executor, vp=args.vp,
                        nominal_wer=args.nominal_wer)
     print("pitch sweep (expectation mode; UBER of the worst-case data "
           "pattern rises as pitch shrinks):")
@@ -153,6 +156,86 @@ def _cmd_memsys(args):
     return 0
 
 
+def _cmd_cache(args):
+    import os
+
+    from .arrays.kernel_disk import KERNEL_CACHE_ENV, DiskKernelCache
+    from .arrays.kernel_store import get_kernel_store
+
+    directory = args.dir or os.environ.get(KERNEL_CACHE_ENV)
+    if not directory:
+        print(f"no kernel cache configured: pass --dir or set "
+              f"{KERNEL_CACHE_ENV}")
+        return 1
+    disk = DiskKernelCache(directory)
+
+    if args.action == "info":
+        info = disk.describe()
+        print(f"kernel cache at {info['directory']}")
+        print(f"  schema      v{info['schema']}")
+        print(f"  entries     {info['entries']}")
+        print(f"  size        {info['size_bytes']} bytes")
+        print(f"  valid       {info['valid']}")
+        if not info["valid"]:
+            print(f"  error       {info['error']}")
+        return 0
+
+    if args.action == "clear":
+        removed = disk.clear()
+        print(f"removed {removed} cache file(s) from {disk.directory}")
+        return 0
+
+    # warm: precompute the 3x3 + extended-window kernels of the grid.
+    from .arrays.coupling import InterCellCoupling
+    from .arrays.extended import ExtendedNeighborhood
+    from .stack import build_reference_stack
+
+    store = get_kernel_store()
+    previous = store.disk
+    previous_from_env = store.disk_from_env
+    entries_before = disk.describe()["entries"]   # 0 if absent/corrupt
+    store.attach_disk(disk)
+    try:
+        # Drop in-memory entries so every grid kernel is either
+        # recomputed (and queued for the disk) or served by the disk
+        # itself — a store that happens to be warm in memory must not
+        # leave the file cold.
+        store.clear()
+        ecds = [nm_to_m(float(v)) for v in args.ecds_nm.split(",")]
+        ratios = [float(v) for v in args.ratios.split(",")]
+        for ecd in ecds:
+            stack = build_reference_stack(ecd)
+            for ratio in ratios:
+                pitch = ratio * ecd
+                InterCellCoupling(stack, pitch).kernels()
+                ExtendedNeighborhood(stack, pitch,
+                                     order=args.order).kernels()
+        store.flush_disk()
+        # Write failures (mid-warm autoflushes included) are swallowed
+        # into this counter, and a pre-populated cache can look healthy
+        # even when the warm persisted nothing — capture it while still
+        # attached. (Read-side fallbacks, e.g. warming over a corrupt
+        # file this warm then replaces, are not failures.)
+        write_failed = store.stats().get("disk_write_failures", 0) > 0
+    finally:
+        if previous is None:
+            store.detach_disk()
+        else:
+            store.attach_disk(previous, _from_env=previous_from_env)
+    post = DiskKernelCache(directory).describe()
+    # Report new kernels as the on-disk delta — mid-warm autoflushes
+    # mean the final flush's count alone would under-report.
+    print(f"warmed {len(ecds)} eCD(s) x {len(ratios)} pitch ratio(s) "
+          f"(order {args.order}): "
+          f"{max(post['entries'] - entries_before, 0)} new kernel(s) "
+          f"written, {post['entries']} on disk")
+    if write_failed or not post["valid"] or post["entries"] == 0:
+        print(f"cache warm failed: "
+              f"{post.get('error', 'no kernels persisted')}")
+        return 1
+    return 0
+
+
 def _cmd_model_card(args):
     device = MTJDevice(PAPER_EVAL_DEVICE)
     paths = export_model_card(device, args.out, name=args.name)
@@ -169,11 +252,12 @@ def build_parser():
                     "reproduction)")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    from .sweep import add_sweep_arguments
+
     p = sub.add_parser("reproduce", help="regenerate all paper figures")
     p.add_argument("--out", default=None,
                    help="directory for CSV/JSON exports")
-    p.add_argument("--jobs", type=_jobs_arg, default=None,
-                   help="worker processes for parallel figure execution")
+    add_sweep_arguments(p)
     p.set_defaults(func=_cmd_reproduce)
 
     p = sub.add_parser("psi", help="coupling factor vs pitch")
@@ -189,8 +273,7 @@ def build_parser():
     p.add_argument("--ecds-nm", default="25,35,45")
     p.add_argument("--ratios", default="1.5,2.0,3.0")
     p.add_argument("--vp", type=float, default=0.85)
-    p.add_argument("--jobs", type=_jobs_arg, default=None,
-                   help="worker processes for the design-space sweep")
+    add_sweep_arguments(p)
     p.set_defaults(func=_cmd_design)
 
     p = sub.add_parser("wer", help="write-error pulse sizing")
@@ -222,11 +305,23 @@ def build_parser():
                    help="scrub period in seconds of simulated time")
     p.add_argument("--seed", type=int, default=None,
                    help="seed of the run's random generator")
-    p.add_argument("--jobs", type=_jobs_arg, default=None,
-                   help="worker processes for the pitch sweep")
+    add_sweep_arguments(p)
     p.add_argument("--out", default=None,
                    help="directory for CSV/JSON exports")
     p.set_defaults(func=_cmd_memsys)
+
+    p = sub.add_parser(
+        "cache", help="inspect/clear/warm the on-disk kernel cache")
+    p.add_argument("action", choices=("info", "clear", "warm"))
+    p.add_argument("--dir", default=None,
+                   help="cache directory (default: $REPRO_KERNEL_CACHE)")
+    p.add_argument("--ecds-nm", default="35",
+                   help="comma-separated eCDs [nm] for `warm`")
+    p.add_argument("--ratios", default="1.5,1.75,2.0,2.5,3.0",
+                   help="comma-separated pitch/eCD ratios for `warm`")
+    p.add_argument("--order", type=int, default=2,
+                   help="extended-neighborhood half-width for `warm`")
+    p.set_defaults(func=_cmd_cache)
 
     p = sub.add_parser("model-card", help="export a compact model")
     p.add_argument("--out", default="model_card")

@@ -60,7 +60,12 @@ EXTENSIONS = {
 
 
 def _run_experiment(name):
-    """Run one experiment by registry name (picklable sweep point)."""
+    """Run one experiment by registry name (picklable sweep point).
+
+    Kernel persistence needs no handling here: pool workers flush
+    their stores at pool shutdown and ``SweepRunner.run`` flushes for
+    in-process executors.
+    """
     modules = {**EXPERIMENTS, **EXTENSIONS}
     return modules[name].run()
 
@@ -70,8 +75,12 @@ def run_all(include_extensions=False, jobs=None, executor=None):
 
     With ``include_extensions=True`` the extension experiments (beyond
     the paper's figures) are appended. ``jobs`` > 1 (or an explicit
-    ``executor``) runs the figures in parallel worker processes; the
-    returned dict is keyed and ordered identically either way.
+    ``executor``) runs the figures in parallel worker processes (or
+    threads, with ``executor="thread"``); the returned dict is keyed
+    and ordered identically either way. With the on-disk kernel cache
+    enabled (see :mod:`repro.arrays.kernel_disk`), every figure's
+    kernels are persisted, so repeat reproductions — CI in particular —
+    start warm.
     """
     from ..sweep import SweepRunner, SweepSpec, executor_for_jobs
     modules = dict(EXPERIMENTS)
@@ -126,26 +135,18 @@ def export(result, output_dir):
     write_json(base + "_series.json", payload)
 
 
-def _jobs_arg(value):
-    """argparse type for ``--jobs``: a positive worker count."""
-    jobs = int(value)
-    if jobs < 1:
-        raise argparse.ArgumentTypeError(
-            f"--jobs must be >= 1, got {jobs}")
-    return jobs
-
-
 def main(argv=None):
     """CLI entry point: run, print, optionally export everything."""
     argv = sys.argv[1:] if argv is None else argv
     parser = argparse.ArgumentParser(prog="repro.experiments.runner")
     parser.add_argument("output_dir", nargs="?", default=None,
                         help="directory for CSV/JSON exports")
-    parser.add_argument("--jobs", type=_jobs_arg, default=None,
-                        help="worker processes for figure execution")
+    from ..sweep import add_sweep_arguments
+    add_sweep_arguments(parser)
     args = parser.parse_args(argv)
     output_dir = args.output_dir
-    results = run_all(include_extensions=True, jobs=args.jobs)
+    results = run_all(include_extensions=True, jobs=args.jobs,
+                      executor=args.executor)
     n_passed = 0
     for result in results.values():
         print(render(result))

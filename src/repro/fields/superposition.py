@@ -104,6 +104,10 @@ class LoopCollection:
         self._radii = np.array([lp.radius for lp in loops], dtype=float)
         self._currents = np.array([lp.current for lp in loops],
                                   dtype=float)
+        # The packed arrays are exposed as read-only views; in-place
+        # mutation would desynchronize them from the member loops.
+        for arr in (self._centers, self._radii, self._currents):
+            arr.flags.writeable = False
 
     @classmethod
     def from_arrays(cls, centers, radii, currents):

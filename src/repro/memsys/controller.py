@@ -133,6 +133,10 @@ class ArrayController:
         self.words = WordMap(layout, ecc.n_code)
 
         self.victim = VictimAnalysis(device, layout.pitch)
+        # The four symmetry-reduced kernels ride the store's batch path
+        # (InterCellCoupling.kernels fetches them via kernel_batch): one
+        # broadcasted field evaluation per kind on a cold store, pure
+        # lookups on a warm or disk-backed one.
         kernels = self.victim.coupling.kernels()
         #: Mean operating field: intra + pattern-independent inter [A/m].
         self.hz_operating = (self.victim.hz_intra()

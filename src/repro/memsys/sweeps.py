@@ -21,6 +21,7 @@ from functools import partial
 
 import numpy as np
 
+from ..arrays.kernel_store import get_kernel_store
 from ..errors import ParameterError
 from ..experiments.base import Comparison, ExperimentResult
 from ..sweep import SweepRunner, SweepSpec, executor_for_jobs
@@ -77,8 +78,12 @@ def uber_sweep(device, pitch_ratios=DEFAULT_PITCH_RATIOS,
         raise ParameterError("pitch_ratios must not be empty")
     for ratio in pitch_ratios:
         require_positive(ratio, "pitch ratio")
+    # Bind once: these are iterated again below (table/series assembly
+    # and comparisons), which would silently exhaust a generator.
+    patterns = list(patterns)
+    eccs = list(eccs)
     ecd = device.params.ecd
-    spec = SweepSpec.product(pattern=list(patterns), ecc=list(eccs),
+    spec = SweepSpec.product(pattern=patterns, ecc=eccs,
                              ratio=pitch_ratios)
     func = partial(_rates_point, device, rows, cols, seed,
                    engine_kwargs)
@@ -203,6 +208,8 @@ def secded_margin_pitch(device, uber_target, pattern="solid0",
     executor = executor or executor_for_jobs(jobs)
     if executor == "serial":
         # Lazy scan: stop at the first miss, like the pre-engine loop.
+        # This path bypasses SweepRunner, so it persists its own
+        # kernels (SweepRunner.run flushes for every other path).
         first_uber = None
         last = None
         for ratio in ratios:
@@ -213,6 +220,7 @@ def secded_margin_pitch(device, uber_target, pattern="solid0",
                 last = (ratio, uber)
             else:
                 break
+        get_kernel_store().flush_disk()
         return last if last is not None else (None, first_uber)
 
     spec = SweepSpec.product(pattern=[pattern], ecc=["secded"],

@@ -7,7 +7,7 @@ that shape first-class:
 
 * :mod:`repro.sweep.spec` — :class:`SweepSpec`: named axes with
   product/zip composition,
-* :mod:`repro.sweep.runner` — :class:`SweepRunner`: serial,
+* :mod:`repro.sweep.runner` — :class:`SweepRunner`: serial, thread,
   process-pool, and chunked executors with deterministic result order,
 * :mod:`repro.sweep.result` — :class:`SweepResult`: values in spec
   order, grid reshaping, table rendering.
@@ -31,7 +31,9 @@ Consumers: :meth:`repro.apps.design_space.DesignSpaceExplorer.sweep`,
 from .result import SweepResult
 from .runner import (
     EXECUTORS,
+    SWEEP_EXECUTOR_ENV,
     SweepRunner,
+    add_sweep_arguments,
     executor_for_jobs,
     run_sweep,
 )
@@ -39,9 +41,11 @@ from .spec import SweepSpec
 
 __all__ = [
     "EXECUTORS",
+    "SWEEP_EXECUTOR_ENV",
     "SweepResult",
     "SweepRunner",
     "SweepSpec",
+    "add_sweep_arguments",
     "executor_for_jobs",
     "run_sweep",
 ]

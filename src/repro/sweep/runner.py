@@ -10,6 +10,12 @@ Executors:
 
 * ``"serial"`` — a plain loop in the calling process (the default, and
   the baseline parallel runs are checked against),
+* ``"thread"`` — a ``concurrent.futures.ThreadPoolExecutor`` in the
+  calling process. The hot paths of this library release the GIL
+  inside numpy/scipy (the broadcasted elliptic-integral kernels), so
+  threads parallelize small-point sweeps without process-spawn or
+  pickling overhead — and all workers share the one process-wide
+  kernel store,
 * ``"process"`` — a ``concurrent.futures.ProcessPoolExecutor``, one
   task per point; the point function and its bound arguments must be
   picklable (module-level functions / ``functools.partial`` of them),
@@ -19,21 +25,49 @@ Executors:
 
 Worker processes each warm their own
 :class:`~repro.arrays.kernel_store.KernelStore`, so chunking also
-maximizes kernel reuse within a worker.
+maximizes kernel reuse within a worker; with the
+:data:`~repro.arrays.kernel_disk.KERNEL_CACHE_ENV` variable set, every
+worker additionally reads (and flushes back to) the shared on-disk
+kernel cache.
 """
 
 from __future__ import annotations
 
+import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 
 from ..errors import ParameterError
-from ..validation import require_int_in_range
+from ..validation import jobs_argument, require_int_in_range
 from .result import SweepResult
 from .spec import SweepSpec
 
 #: The executor registry (name -> SweepRunner method suffix).
-EXECUTORS = ("serial", "process", "chunked")
+EXECUTORS = ("serial", "thread", "process", "chunked")
+
+#: Environment override of the parallel executor picked by ``--jobs``.
+SWEEP_EXECUTOR_ENV = "REPRO_SWEEP_EXECUTOR"
+
+
+def _flush_kernel_store():
+    """Persist this process's kernel store (no-op without disk backing)."""
+    from ..arrays.kernel_store import get_kernel_store
+    get_kernel_store().flush_disk()
+
+
+def _worker_initializer():
+    """Pool-worker setup: flush the kernel store once at worker exit.
+
+    Workers are long-lived (they serve many points), so flushing per
+    point would rewrite the on-disk cache constantly; an exit hook
+    persists each worker's freshly computed kernels exactly once, when
+    the pool shuts down. Plain ``atexit`` never fires in
+    ``multiprocessing`` children (``_bootstrap`` ends in ``os._exit``),
+    so this registers through ``multiprocessing.util.Finalize``, which
+    ``_bootstrap`` does run. No-op unless disk backing is enabled.
+    """
+    from multiprocessing.util import Finalize
+    Finalize(None, _flush_kernel_store, exitpriority=100)
 
 
 def _apply_point(func, params):
@@ -89,11 +123,18 @@ class SweepRunner:
         start = time.perf_counter()
         if self.executor == "serial":
             values = [self.func(**params) for params in spec]
+        elif self.executor == "thread":
+            values = self._run_threads(spec.points())
         elif self.executor == "process":
             values = self._run_pool(spec.points())
         else:
             values = self._run_chunked(spec.points())
         elapsed = time.perf_counter() - start
+        # Persist kernels this process computed during the sweep (pool
+        # workers flush themselves at pool shutdown); no-op unless the
+        # on-disk kernel cache is enabled. Living here means every
+        # sweep consumer warms the cache without its own incantation.
+        _flush_kernel_store()
         return SweepResult(spec=spec, values=values,
                            executor=self.executor,
                            jobs=self._effective_jobs(), elapsed=elapsed)
@@ -103,11 +144,20 @@ class SweepRunner:
             return 1
         if self.jobs is not None:
             return self.jobs
-        import os
+        if self.executor == "thread":
+            # ThreadPoolExecutor's own default.
+            return min(32, (os.cpu_count() or 1) + 4)
         return os.cpu_count() or 1
 
+    def _run_threads(self, points):
+        with ThreadPoolExecutor(max_workers=self.jobs) as pool:
+            return list(pool.map(
+                _apply_point, [self.func] * len(points), points))
+
     def _run_pool(self, points):
-        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+        with ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=_worker_initializer) as pool:
             return list(pool.map(
                 _apply_point, [self.func] * len(points), points))
 
@@ -117,7 +167,9 @@ class SweepRunner:
             1, -(-len(points) // (4 * n_workers)))
         chunks = [points[i:i + chunk]
                   for i in range(0, len(points), chunk)]
-        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+        with ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=_worker_initializer) as pool:
             nested = pool.map(_apply_chunk, [self.func] * len(chunks),
                               chunks)
         return [value for part in nested for value in part]
@@ -129,14 +181,43 @@ def run_sweep(func, spec, executor="serial", jobs=None, chunk_size=None):
                        chunk_size=chunk_size).run(spec)
 
 
-def executor_for_jobs(jobs, default="serial", parallel="process"):
+def add_sweep_arguments(parser):
+    """Attach the standard ``--jobs`` / ``--executor`` flag pair.
+
+    Every sweep-shaped CLI (``repro reproduce|design|memsys`` and the
+    figure runner) shares this one definition, so the flags validate
+    and document identically everywhere.
+    """
+    parser.add_argument("--jobs", type=jobs_argument, default=None,
+                        help="worker count for parallel sweep "
+                             "execution")
+    parser.add_argument("--executor", choices=EXECUTORS, default=None,
+                        help="sweep executor (thread shares one "
+                             "process and its kernel store; "
+                             "process/chunked fork workers)")
+    return parser
+
+
+def executor_for_jobs(jobs, default="serial", parallel=None):
     """Map a CLI-style ``--jobs`` value onto an executor name.
 
     ``None`` or 1 mean the serial baseline; anything larger selects the
-    parallel executor. Used by the CLI subcommands and sweep consumers
-    so ``--jobs`` alone toggles parallelism.
+    parallel executor — ``parallel`` if given, else the
+    :data:`SWEEP_EXECUTOR_ENV` environment variable, else
+    ``"process"``. Used by the CLI subcommands and sweep consumers so
+    ``--jobs`` alone toggles parallelism (and ``--executor thread`` or
+    ``REPRO_SWEEP_EXECUTOR=thread`` retargets it without touching the
+    call sites).
     """
     if jobs is None or jobs == 1:
+        # Serial runs never consult the parallel choice, so a stale or
+        # misspelled environment override must not break them.
         return default
     require_int_in_range(jobs, "jobs", 1, 4096)
+    if parallel is None:
+        parallel = os.environ.get(SWEEP_EXECUTOR_ENV) or "process"
+    if parallel not in EXECUTORS:
+        raise ParameterError(
+            f"parallel executor must be one of {EXECUTORS}, got "
+            f"{parallel!r}")
     return parallel

@@ -70,6 +70,20 @@ def require_int_in_range(value, name, low, high):
     return int(value)
 
 
+def jobs_argument(value):
+    """``argparse`` type for a ``--jobs`` flag: a positive worker count.
+
+    Shared by every CLI that forwards into :mod:`repro.sweep`, so the
+    flag validates identically everywhere.
+    """
+    import argparse
+    jobs = int(value)
+    if jobs < 1:
+        raise argparse.ArgumentTypeError(
+            f"--jobs must be >= 1, got {jobs}")
+    return jobs
+
+
 def as_point_array(points, name="points"):
     """Coerce ``points`` to a float array of shape (N, 3).
 

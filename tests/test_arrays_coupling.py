@@ -53,6 +53,25 @@ class TestKernels:
         }
         assert len(values) == 1
 
+    def test_kernels_memoized_per_instance(self, coupling55):
+        assert coupling55.kernels() is coupling55.kernels()
+
+    def test_off_axis_evaluation_point_rejected(self):
+        # The symmetry reduction (4 equal direct, 4 equal diagonal
+        # kernels) only holds on the victim axis; off-axis sampling
+        # must fail loudly instead of returning wrong fields.
+        stack = build_reference_stack(55e-9)
+        with pytest.raises(ParameterError):
+            InterCellCoupling(stack, 90e-9,
+                              evaluation_point=(10e-9, 0.0, 0.0))
+        with pytest.raises(ParameterError):
+            InterCellCoupling(stack, 90e-9,
+                              evaluation_point=(0.0, -5e-9, 0.0))
+        # On-axis but above the FL center stays legal (z breaks no
+        # lateral symmetry).
+        InterCellCoupling(stack, 90e-9,
+                          evaluation_point=(0.0, 0.0, 1e-9)).kernels()
+
 
 class TestPaperAnchors:
     def test_extremes(self, coupling55):

@@ -91,3 +91,110 @@ class TestCommands:
                      "--name", "cell"]) == 0
         assert os.path.exists(os.path.join(out_dir, "cell.sp"))
         assert "wrote" in capsys.readouterr().out
+
+    def test_design_thread_executor_matches_serial(self, capsys):
+        argv = ["design", "--ecds-nm", "35", "--ratios", "1.5,3.0"]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2",
+                            "--executor", "thread"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_rejects_unknown_executor(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["design", "--executor", "fibers"])
+
+
+class TestCacheCommand:
+    def test_requires_directory(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL_CACHE", raising=False)
+        assert main(["cache", "info"]) == 1
+        assert "no kernel cache configured" in capsys.readouterr().out
+
+    def test_warm_info_clear_cycle(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "kc")
+        assert main(["cache", "warm", "--dir", cache_dir,
+                     "--ecds-nm", "35", "--ratios", "1.5,2.0",
+                     "--order", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "warmed" in out
+
+        assert main(["cache", "info", "--dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "valid       True" in out
+        assert "entries     0" not in out
+
+        assert main(["cache", "clear", "--dir", cache_dir]) == 0
+        assert "removed" in capsys.readouterr().out
+        assert main(["cache", "info", "--dir", cache_dir]) == 0
+        assert "entries     0" in capsys.readouterr().out
+
+    def test_info_reads_env_var(self, tmp_path, capsys, monkeypatch):
+        cache_dir = str(tmp_path / "kc")
+        monkeypatch.setenv("REPRO_KERNEL_CACHE", cache_dir)
+        assert main(["cache", "info"]) == 0
+        assert cache_dir in capsys.readouterr().out
+
+    def test_warm_leaves_global_store_unbacked(self, tmp_path):
+        from repro.arrays.kernel_store import get_kernel_store
+        assert main(["cache", "warm", "--dir", str(tmp_path / "kc"),
+                     "--ecds-nm", "35", "--ratios", "1.5",
+                     "--order", "1"]) == 0
+        assert get_kernel_store().disk is None
+
+    def test_warm_fails_when_flush_cannot_write(self, tmp_path,
+                                                monkeypatch, capsys):
+        """A warm whose flush is swallowed into disk_write_failures
+        must exit nonzero even if the cache file already holds
+        entries."""
+        from repro.arrays.kernel_disk import DiskKernelCache
+        cache_dir = str(tmp_path / "kc")
+        assert main(["cache", "warm", "--dir", cache_dir,
+                     "--ecds-nm", "35", "--ratios", "1.5",
+                     "--order", "1"]) == 0
+        capsys.readouterr()
+
+        def broken_write(self, entries):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(DiskKernelCache, "write", broken_write)
+        assert main(["cache", "warm", "--dir", cache_dir,
+                     "--ecds-nm", "45", "--ratios", "1.5",
+                     "--order", "1"]) == 1
+        assert "cache warm failed" in capsys.readouterr().out
+
+    def test_warm_repairs_corrupt_cache_and_exits_green(self, tmp_path,
+                                                        capsys):
+        """Warming over a corrupt file is the documented repair path —
+        it replaces the file and must NOT report failure."""
+        cache_dir = str(tmp_path / "kc")
+        assert main(["cache", "warm", "--dir", cache_dir,
+                     "--ecds-nm", "35", "--ratios", "1.5",
+                     "--order", "1"]) == 0
+        from repro.arrays.kernel_disk import DiskKernelCache
+        with open(DiskKernelCache(cache_dir).data_path, "r+b") as fh:
+            fh.write(b"GARBAGE!")
+        capsys.readouterr()
+        assert main(["cache", "warm", "--dir", cache_dir,
+                     "--ecds-nm", "35", "--ratios", "1.5",
+                     "--order", "1"]) == 0
+        assert "cache warm failed" not in capsys.readouterr().out
+        assert main(["cache", "info", "--dir", cache_dir]) == 0
+        assert "valid       True" in capsys.readouterr().out
+
+    def test_warm_preserves_env_attachment_semantics(self, tmp_path,
+                                                     monkeypatch):
+        """Warming an explicit --dir must not promote an env-attached
+        backend to explicit: the env opt-out keeps working after."""
+        from repro.arrays.kernel_store import get_kernel_store
+        monkeypatch.setenv("REPRO_KERNEL_CACHE",
+                           str(tmp_path / "env"))
+        get_kernel_store()   # attach from env
+        assert main(["cache", "warm", "--dir", str(tmp_path / "other"),
+                     "--ecds-nm", "35", "--ratios", "1.5",
+                     "--order", "1"]) == 0
+        store = get_kernel_store()
+        assert store.disk.directory == str(tmp_path / "env")
+        monkeypatch.delenv("REPRO_KERNEL_CACHE")
+        assert get_kernel_store().disk is None

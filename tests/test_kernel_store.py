@@ -92,6 +92,17 @@ class TestFingerprint:
         with pytest.raises(ParameterError):
             stack_fingerprint("not a stack")
 
+    def test_numpy_scalar_geometry_digests_identically(self):
+        """np.float64-built stacks must share keys AND disk digests
+        with float-built ones — key_digest hashes repr(key), and a
+        numpy scalar reprs differently from the ==-equal float."""
+        from repro.arrays.kernel_disk import key_digest
+        plain = stack_fingerprint(build_reference_stack(35e-9))
+        from_numpy = stack_fingerprint(
+            build_reference_stack(np.float64(35e-9)))
+        assert plain == from_numpy
+        assert key_digest(plain) == key_digest(from_numpy)
+
     def test_evaluation_point_keys_entries(self, store, stack):
         store.kernel(stack, (90e-9, 0.0), "fl")
         store.kernel(stack, (90e-9, 0.0), "fl",
@@ -101,6 +112,76 @@ class TestFingerprint:
     def test_unknown_kind_rejected(self, store, stack):
         with pytest.raises(ParameterError):
             store.kernel(stack, (90e-9, 0.0), "bogus")
+
+
+class TestKernelBatch:
+    """The batched path must be bit-identical to scalar lookups and
+    share their cache entries (this is the non-bench parity guard for
+    ``benchmarks/test_bench_field_map.py``)."""
+
+    OFFSETS = [(90e-9, 0.0), (0.0, 90e-9), (90e-9, 90e-9),
+               (-180e-9, 90e-9), (-90e-9, -90e-9)]
+
+    @pytest.mark.parametrize("kind", ("fixed", "fl"))
+    def test_bit_identical_to_scalar(self, stack, kind):
+        scalar = np.array([KernelStore().kernel(stack, off, kind)
+                           for off in self.OFFSETS])
+        batch = KernelStore().kernel_batch(stack, self.OFFSETS, kind)
+        np.testing.assert_array_equal(batch, scalar)
+
+    def test_bit_identical_with_point_and_temperature(self, stack):
+        point, temp = (1e-9, -2e-9, 3e-9), 350.0
+        scalar = np.array([
+            KernelStore().kernel(stack, off, "fl",
+                                 evaluation_point=point,
+                                 temperature=temp)
+            for off in self.OFFSETS])
+        batch = KernelStore().kernel_batch(stack, self.OFFSETS, "fl",
+                                           evaluation_point=point,
+                                           temperature=temp)
+        np.testing.assert_array_equal(batch, scalar)
+
+    def test_shares_entries_with_scalar_path(self, store, stack):
+        for off in self.OFFSETS:
+            store.kernel(stack, off, "fl")
+        batch = store.kernel_batch(stack, self.OFFSETS, "fl")
+        stats = store.stats()
+        assert stats["hits"] == len(self.OFFSETS)
+        assert stats["misses"] == len(self.OFFSETS)
+        scalar_again = store.kernel(stack, self.OFFSETS[0], "fl")
+        assert scalar_again == batch[0]
+
+    def test_partial_batch_computes_only_missing(self, store, stack):
+        store.kernel(stack, self.OFFSETS[0], "fl")
+        store.kernel_batch(stack, self.OFFSETS, "fl")
+        stats = store.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == len(self.OFFSETS)
+        assert len(store) == len(self.OFFSETS)
+
+    def test_result_order_matches_offsets(self, store, stack):
+        forward = store.kernel_batch(stack, self.OFFSETS, "fixed")
+        backward = store.kernel_batch(stack, self.OFFSETS[::-1],
+                                      "fixed")
+        np.testing.assert_array_equal(backward, forward[::-1])
+
+    def test_rejects_bad_shapes_and_kinds(self, store, stack):
+        with pytest.raises(ParameterError):
+            store.kernel_batch(stack, [90e-9, 0.0], "fl")
+        with pytest.raises(ParameterError):
+            store.kernel_batch(stack, [(90e-9, 0.0, 0.0)], "fl")
+        with pytest.raises(ParameterError):
+            store.kernel_batch(stack, [(90e-9, 0.0)], "bogus")
+
+    def test_extended_neighborhood_rides_batch_path(self, stack):
+        """The window kernels equal per-offset scalar lookups exactly."""
+        from repro.arrays import ExtendedNeighborhood
+        hood = ExtendedNeighborhood(stack, 90e-9, order=2)
+        reference = KernelStore()
+        for off, (fixed, fl) in hood.kernels().items():
+            dx, dy = off[0] * 90e-9, off[1] * 90e-9
+            assert fixed == reference.kernel(stack, (dx, dy), "fixed")
+            assert fl == reference.kernel(stack, (dx, dy), "fl")
 
 
 class TestSharedAcrossConsumers:

@@ -124,6 +124,125 @@ class TestFieldLinearity:
                                          abs=1e-12)
 
 
+ECDS = st.floats(min_value=20e-9, max_value=80e-9)
+TEMPS = st.floats(min_value=250.0, max_value=400.0)
+MS_SCALES = st.floats(min_value=0.5, max_value=2.0).filter(
+    lambda s: abs(s - 1.0) > 1e-9)
+AXIS_VALUES = st.lists(st.integers(min_value=-50, max_value=50),
+                       min_size=1, max_size=4)
+
+
+class TestFingerprintProperties:
+    """``stack_fingerprint`` stability and sensitivity: equal stacks
+    share a key; any geometry, moment, or temperature perturbation
+    produces a new key (nothing is ever invalidated in place)."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(ECDS)
+    def test_same_stack_same_key(self, ecd):
+        from repro.arrays import stack_fingerprint
+        from repro.stack import build_reference_stack
+        assert stack_fingerprint(build_reference_stack(ecd)) == \
+            stack_fingerprint(build_reference_stack(ecd))
+
+    @settings(max_examples=30, deadline=None)
+    @given(ECDS, st.floats(min_value=1e-10, max_value=5e-9))
+    def test_geometry_perturbation_changes_key(self, ecd, delta):
+        from repro.arrays import stack_fingerprint
+        from repro.stack import build_reference_stack
+        assert stack_fingerprint(build_reference_stack(ecd)) != \
+            stack_fingerprint(build_reference_stack(ecd + delta))
+
+    @settings(max_examples=30, deadline=None)
+    @given(ECDS, MS_SCALES)
+    def test_moment_perturbation_changes_key(self, ecd, scale):
+        from repro.arrays import stack_fingerprint
+        from repro.stack import DEFAULT_RL_MS, build_reference_stack
+        base = build_reference_stack(ecd)
+        scaled = build_reference_stack(ecd, rl_ms=scale * DEFAULT_RL_MS)
+        assert stack_fingerprint(base) != stack_fingerprint(scaled)
+
+    @settings(max_examples=30, deadline=None)
+    @given(ECDS, TEMPS)
+    def test_temperature_changes_key(self, ecd, temperature):
+        from hypothesis import assume
+        from repro.arrays import stack_fingerprint
+        from repro.materials import ROOM_TEMPERATURE
+        from repro.stack import build_reference_stack
+        # At the Bloch reference temperature the effective moments are
+        # the nominal ones, so the key legitimately coincides.
+        assume(abs(temperature - ROOM_TEMPERATURE) > 1.0)
+        stack = build_reference_stack(ecd)
+        cold = stack_fingerprint(stack)
+        hot = stack_fingerprint(stack, temperature=temperature)
+        assert cold != hot
+
+    @settings(max_examples=30, deadline=None)
+    @given(ECDS, TEMPS)
+    def test_temperature_key_is_deterministic(self, ecd, temperature):
+        from repro.arrays import stack_fingerprint
+        from repro.stack import build_reference_stack
+        assert stack_fingerprint(build_reference_stack(ecd),
+                                 temperature=temperature) == \
+            stack_fingerprint(build_reference_stack(ecd),
+                              temperature=temperature)
+
+
+class TestSweepSpecProperties:
+    """Ordering invariants of the sweep grid under arbitrary axes."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(AXIS_VALUES, AXIS_VALUES)
+    def test_product_is_itertools_product_order(self, a, b):
+        import itertools
+        from repro.sweep import SweepSpec
+        spec = SweepSpec.product(a=a, b=b)
+        expected = [{"a": x, "b": y}
+                    for x, y in itertools.product(a, b)]
+        assert spec.points() == expected
+        assert len(spec) == len(a) * len(b)
+        assert spec.shape == (len(a), len(b))
+
+    @settings(max_examples=50, deadline=None)
+    @given(AXIS_VALUES)
+    def test_zip_pairs_elementwise(self, values):
+        from repro.sweep import SweepSpec
+        labels = [f"v{i}" for i in range(len(values))]
+        spec = SweepSpec.zipped(x=values, label=labels)
+        assert spec.points() == [{"x": v, "label": lab}
+                                 for v, lab in zip(values, labels)]
+        assert spec.shape == (len(values),)
+
+    @settings(max_examples=50, deadline=None)
+    @given(AXIS_VALUES, AXIS_VALUES)
+    def test_composition_is_left_major(self, a, b):
+        from repro.sweep import SweepSpec
+        composed = SweepSpec.product(a=a) * SweepSpec.product(b=b)
+        assert composed.points() == SweepSpec.product(a=a, b=b).points()
+        assert composed.names == ("a", "b")
+
+    @settings(max_examples=50, deadline=None)
+    @given(AXIS_VALUES, AXIS_VALUES)
+    def test_point_indexing_matches_iteration(self, a, b):
+        from repro.sweep import SweepSpec
+        spec = SweepSpec.product(a=a, b=b)
+        assert [spec.point(i) for i in range(len(spec))] == \
+            list(spec)
+
+    @settings(max_examples=50, deadline=None)
+    @given(AXIS_VALUES, AXIS_VALUES)
+    def test_serial_run_preserves_spec_order(self, a, b):
+        from repro.sweep import SweepSpec, run_sweep
+        spec = SweepSpec.product(a=a, b=b)
+        result = run_sweep(_pair_point, spec)
+        assert result.values == [(p["a"], p["b"]) for p in spec]
+
+
+def _pair_point(a, b):
+    """Module-level picklable point function: identity pair."""
+    return (a, b)
+
+
 class TestCouplingAlgebra:
     @settings(max_examples=15, deadline=None)
     @given(st.integers(min_value=0, max_value=255),

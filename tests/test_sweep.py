@@ -129,10 +129,27 @@ class TestSweepRunner:
         with pytest.raises(ParameterError):
             executor_for_jobs(0)
 
+    def test_executor_for_jobs_thread_parallel(self):
+        assert executor_for_jobs(4, parallel="thread") == "thread"
+        assert executor_for_jobs(1, parallel="thread") == "serial"
+        with pytest.raises(ParameterError):
+            executor_for_jobs(4, parallel="greenlet")
+
+    def test_executor_for_jobs_env_override(self, monkeypatch):
+        from repro.sweep import SWEEP_EXECUTOR_ENV
+        monkeypatch.setenv(SWEEP_EXECUTOR_ENV, "thread")
+        assert executor_for_jobs(4) == "thread"
+        monkeypatch.setenv(SWEEP_EXECUTOR_ENV, "bogus")
+        with pytest.raises(ParameterError):
+            executor_for_jobs(4)
+
     def test_worker_error_propagates(self):
         spec = SweepSpec.product(a=(1, -1), b=(2,))
         with pytest.raises(ParameterError):
             run_sweep(require_positive_product, spec)
+        with pytest.raises(ParameterError):
+            run_sweep(require_positive_product, spec,
+                      executor="thread", jobs=2)
         with pytest.raises(ParameterError):
             run_sweep(require_positive_product, spec,
                       executor="process", jobs=2)
@@ -140,28 +157,62 @@ class TestSweepRunner:
 
 @pytest.mark.integration
 class TestSeededSweepDeterminism:
-    """Acceptance: parallel == serial for the seeded consumers."""
+    """Acceptance: serial == thread == process == chunked for every
+    seeded consumer sweep."""
 
-    def test_memsys_uber_sweep_parallel_equals_serial(self):
+    def test_memsys_uber_sweep_all_executors_equal(self):
         from repro.device import MTJDevice, PAPER_EVAL_DEVICE
         from repro.memsys import uber_sweep
         device = MTJDevice(PAPER_EVAL_DEVICE)
         kwargs = dict(pitch_ratios=(3.0, 1.5), patterns=("solid0",),
                       rows=16, cols=16, seed=3)
         serial = uber_sweep(device, **kwargs)
+        threaded = uber_sweep(device, executor="thread", jobs=2,
+                              **kwargs)
         parallel = uber_sweep(device, jobs=2, **kwargs)
         chunked = uber_sweep(device, executor="chunked", jobs=2,
                              **kwargs)
-        assert serial.rows == parallel.rows == chunked.rows
-        assert serial.extras["uber"] == parallel.extras["uber"]
+        assert (serial.rows == threaded.rows == parallel.rows
+                == chunked.rows)
+        assert (serial.extras["uber"] == threaded.extras["uber"]
+                == parallel.extras["uber"] == chunked.extras["uber"])
 
-    def test_design_space_parallel_equals_serial(self):
+    def test_design_space_all_executors_equal(self):
         from repro.apps import DesignSpaceExplorer
         from repro.device import PAPER_EVAL_DEVICE
         explorer = DesignSpaceExplorer(PAPER_EVAL_DEVICE)
         serial = explorer.sweep([30e-9, 35e-9], [2.0, 3.0])
-        parallel = explorer.sweep([30e-9, 35e-9], [2.0, 3.0], jobs=2)
-        assert serial == parallel  # DesignPoint is a frozen dataclass.
+        for executor in ("thread", "process", "chunked"):
+            result = explorer.sweep([30e-9, 35e-9], [2.0, 3.0], jobs=2,
+                                    executor=executor)
+            # DesignPoint is a frozen dataclass: == is exact equality.
+            assert result == serial, executor
+
+    def test_disk_backed_store_matches_fresh_compute(self, tmp_path):
+        """Parity: a sweep over disk-cached kernels is bit-identical
+        to one that computes every kernel fresh."""
+        from repro.arrays.kernel_disk import DiskKernelCache
+        from repro.arrays.kernel_store import KernelStore
+        from repro.stack import build_reference_stack
+        stack = build_reference_stack(45e-9)
+        offsets = [(d * 67.5e-9, 0.0) for d in (1, 2)] + [
+            (67.5e-9, 67.5e-9), (0.0, 135e-9)]
+
+        disk = DiskKernelCache(tmp_path / "kc")
+        warm = KernelStore(disk=disk)
+        fresh_values = {}
+        for kind in ("fixed", "fl"):
+            for off in offsets:
+                fresh_values[(kind, off)] = warm.kernel(stack, off,
+                                                        kind)
+        warm.flush_disk()
+
+        cold = KernelStore(disk=disk)
+        for (kind, off), expected in fresh_values.items():
+            assert cold.kernel(stack, off, kind) == expected
+        stats = cold.stats()
+        assert stats["misses"] == 0
+        assert stats["disk_hits"] == len(fresh_values)
 
     def test_run_all_parallel_equals_serial(self, monkeypatch):
         # Shrink the registry to two real figures to keep this fast;
@@ -171,13 +222,16 @@ class TestSeededSweepDeterminism:
         subset = {k: runner.EXPERIMENTS[k] for k in ("fig4a", "fig4b")}
         monkeypatch.setattr(runner, "EXPERIMENTS", subset)
         serial = runner.run_all()
+        threaded = runner.run_all(executor="thread", jobs=2)
         parallel = runner.run_all(jobs=2)
-        assert list(serial) == list(parallel) == ["fig4a", "fig4b"]
+        assert (list(serial) == list(threaded) == list(parallel)
+                == ["fig4a", "fig4b"])
         for name in serial:
-            a, b = serial[name], parallel[name]
-            assert a.rows == b.rows
-            assert a.comparisons == b.comparisons
-            assert set(a.series) == set(b.series)
-            for key in a.series:
-                np.testing.assert_array_equal(a.series[key][1],
-                                              b.series[key][1])
+            for b in (threaded[name], parallel[name]):
+                a = serial[name]
+                assert a.rows == b.rows
+                assert a.comparisons == b.comparisons
+                assert set(a.series) == set(b.series)
+                for key in a.series:
+                    np.testing.assert_array_equal(a.series[key][1],
+                                                  b.series[key][1])
