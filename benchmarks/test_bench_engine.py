@@ -1,0 +1,180 @@
+"""Rare-event fast-path benches: binomial vs bernoulli sampler.
+
+The headline bench is the acceptance criterion of the sampling fast
+path: a 1024 x 1024 array trimmed to ``nominal_wer = 1e-6`` (a
+realistic shipping part, not the accelerated-stress corner) running
+1e6 transactions — a regime where the bernoulli reference burns one
+uniform draw per cell per mechanism while the binomial path draws
+per-class flip counts over bit-packed state. The run must be >= 10x
+faster under ``sampler="binomial"``, with ``expected_rates``
+bit-identical across samplers and the Monte-Carlo counters of the two
+pinned-seed runs statistically equivalent.
+
+Configuration notes: the workload is the checkerboard stress pattern at
+a 90% read fraction — the retention/read-disturb-dominated corner the
+fast path targets, with the background pinned so the incremental class
+maps stay on their sparse path (random write data falls back to full
+recomputes past the documented threshold). ``batch_size=2048`` refreshes
+the class maps every 2k transactions; both samplers run identical
+settings, so the comparison is like for like at equal fidelity.
+
+Every run's throughput lands in ``BENCH_memsys.json`` (repo root, or
+``$REPRO_BENCH_OUT``) as a trajectory over array size and sampler; CI
+uploads the file as an artifact so regressions leave a trace.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.device import MTJDevice, PAPER_EVAL_DEVICE
+from repro.memsys import build_engine
+from repro.memsys.traffic import StressPatternWorkload
+
+#: Floor asserted on the 1024 x 1024 binomial-vs-bernoulli ratio.
+SPEEDUP_FLOOR = 10.0
+
+TRANSACTIONS = 1_000_000
+BATCH_SIZE = 2048
+SEED = 1
+
+
+def _bench_out_path():
+    override = os.environ.get("REPRO_BENCH_OUT")
+    if override:
+        return override
+    repo_root = os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__)))
+    return os.path.join(repo_root, "BENCH_memsys.json")
+
+
+def _engine(device, side, sampler):
+    return build_engine(
+        device, pitch=70e-9, rows=side, cols=side, ecc="secded",
+        workload=StressPatternWorkload("checkerboard",
+                                       read_fraction=0.9),
+        nominal_wer=1e-6, sampler=sampler)
+
+
+def _timed_run(engine, n=TRANSACTIONS, repeats=1):
+    """(best seconds, last result) of ``repeats`` identical runs."""
+    best, result = None, None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = engine.run(n, rng=SEED, batch_size=BATCH_SIZE)
+        dt = time.perf_counter() - t0
+        best = dt if best is None else min(best, dt)
+    return best, result
+
+
+@pytest.fixture(scope="module")
+def device():
+    return MTJDevice(PAPER_EVAL_DEVICE)
+
+
+def test_binomial_fast_path_speedup_1024(device):
+    """>= 10x on 1024 x 1024 at nominal_wer = 1e-6, counters agree."""
+    runs = {}
+    for sampler in ("binomial", "bernoulli"):
+        engine = _engine(device, 1024, sampler)
+        runs[sampler] = _timed_run(engine, repeats=2)
+
+    t_binomial, r_binomial = runs["binomial"]
+    t_bernoulli, r_bernoulli = runs["bernoulli"]
+    speedup = t_bernoulli / t_binomial
+    # Record the measured trajectory first: a failed assert below must
+    # still leave BENCH_memsys.json for the CI artifact.
+    _record_bench(speedup, t_bernoulli, t_binomial, runs)
+    print(f"\n1024x1024, {TRANSACTIONS} txn, nominal_wer=1e-6: "
+          f"bernoulli {t_bernoulli:.2f}s "
+          f"({TRANSACTIONS / t_bernoulli:.0f} txn/s), "
+          f"binomial {t_binomial:.2f}s "
+          f"({TRANSACTIONS / t_binomial:.0f} txn/s) "
+          f"-> {speedup:.1f}x")
+
+    # Statistical equivalence of the pinned-seed Monte-Carlo counters:
+    # every independent-event counter must sit within a generous
+    # binomial/Poisson confidence band of its sibling.
+    for counter in ("write_errors", "disturb_flips", "retention_flips",
+                    "raw_bit_errors"):
+        a = getattr(r_bernoulli, counter)
+        b = getattr(r_binomial, counter)
+        tol = 6.0 * np.sqrt(a + b + 1.0) + 25.0
+        assert abs(a - b) <= tol, (counter, a, b)
+    assert r_binomial.n_transactions == TRANSACTIONS
+    for r in (r_binomial, r_bernoulli):
+        assert r.n_reads + r.n_writes == TRANSACTIONS
+
+    # Expectation mode draws nothing: bit-identical across samplers.
+    expected = [
+        _engine(device, 1024, sampler).expected_rates(rng=0)
+        for sampler in ("bernoulli", "binomial")]
+    assert expected[0] == expected[1]
+
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"binomial fast path only {speedup:.1f}x over bernoulli "
+        f"(floor {SPEEDUP_FLOOR}x)")
+
+
+def _record_bench(speedup, t_bernoulli, t_binomial, runs_1024):
+    """Append this run's throughput trajectory to BENCH_memsys.json."""
+    trajectory = [
+        {"sampler": sampler, "rows": 1024, "cols": 1024,
+         "transactions": TRANSACTIONS, "batch_size": BATCH_SIZE,
+         "nominal_wer": 1e-6, "seconds": round(seconds, 4),
+         "txn_per_s": round(TRANSACTIONS / seconds, 1)}
+        for sampler, (seconds, _) in runs_1024.items()]
+    payload = {
+        "bench": "memsys_engine",
+        "speedup_1024": {
+            "bernoulli_s": round(t_bernoulli, 4),
+            "binomial_s": round(t_binomial, 4),
+            "speedup": round(speedup, 2),
+            "floor": SPEEDUP_FLOOR,
+        },
+        "trajectory": trajectory,
+    }
+    path = _bench_out_path()
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {path}")
+
+
+def test_binomial_throughput_scales_with_array_size(device):
+    """Fast-path throughput stays near-flat as the array grows.
+
+    The binomial path's whole-array work is O(50 classes + flips), so
+    quadrupling the cell count must not quadruple the runtime — assert
+    the 1024 x 1024 run keeps >= 1/4 of the 256 x 256 throughput (the
+    reference path degrades ~linearly in cells per batch). Throughputs
+    are appended to BENCH_memsys.json next to the speedup record.
+    """
+    n = 250_000
+    rates = {}
+    for side in (256, 512, 1024):
+        engine = _engine(device, side, "binomial")
+        seconds, result = _timed_run(engine, n=n)
+        assert result.n_transactions == n
+        rates[side] = n / seconds
+        print(f"\nbinomial {side}x{side}: {rates[side]:.0f} txn/s")
+    assert rates[1024] >= rates[256] / 4.0, rates
+
+    path = _bench_out_path()
+    try:
+        with open(path) as fh:
+            payload = json.load(fh)
+    except (OSError, ValueError):
+        payload = {"bench": "memsys_engine", "trajectory": []}
+    payload.setdefault("trajectory", []).extend(
+        {"sampler": "binomial", "rows": side, "cols": side,
+         "transactions": n, "batch_size": BATCH_SIZE,
+         "nominal_wer": 1e-6, "seconds": round(n / rate, 4),
+         "txn_per_s": round(rate, 1)}
+        for side, rate in rates.items())
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")

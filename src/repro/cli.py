@@ -14,6 +14,14 @@ Stochastic subcommands (``wer``, ``memsys``) accept ``--seed N``; every
 random draw of the run flows from that one ``numpy.random.Generator``,
 so identical invocations print identical numbers.
 
+``memsys`` additionally accepts ``--sampler bernoulli|binomial`` (the
+per-cell reference draw vs the class-grouped rare-event fast path) and
+``--preset stress|macro-512|chip-1024`` — large-geometry operating
+points that bundle array size, traffic volume, and write-error trim;
+the dense presets select the binomial sampler, without which a
+``nominal_wer <= 1e-6`` run would need billions of uniform draws per
+observed flip.
+
 Sweep-shaped subcommands (``reproduce``, ``design``, ``memsys``) accept
 ``--jobs N`` to fan the underlying :mod:`repro.sweep` grid out over N
 workers; results are identical to the serial run. ``--executor`` picks
@@ -106,9 +114,44 @@ def _cmd_wer(args):
     return 0
 
 
+#: Large-geometry presets for ``repro memsys``. Each bundles the array
+#: size, traffic volume, and write-error trim of a realistic operating
+#: point; the dense presets pick the binomial sampler (the bernoulli
+#: reference would spend billions of uniform draws observing a handful
+#: of flips) and skip the expectation-mode pitch sweep, which scales
+#: with the cell count. Explicit flags override preset values.
+MEMSYS_PRESETS = {
+    "stress": dict(rows=64, cols=64, transactions=100_000,
+                   nominal_wer=2e-3, pattern="checkerboard"),
+    "macro-512": dict(rows=512, cols=512, transactions=500_000,
+                      nominal_wer=1e-6, sampler="binomial",
+                      pattern="read-heavy", no_sweep=True),
+    "chip-1024": dict(rows=1024, cols=1024, transactions=1_000_000,
+                      nominal_wer=1e-6, sampler="binomial",
+                      pattern="read-heavy", no_sweep=True),
+}
+
+#: Baseline values of every preset-controlled ``memsys`` flag. The
+#: parser leaves these flags at ``None`` so an explicit flag — even one
+#: spelling out the baseline value — is distinguishable from an absent
+#: one; :func:`_apply_memsys_preset` resolves the precedence.
+_MEMSYS_DEFAULTS = dict(rows=64, cols=64, transactions=50_000,
+                        nominal_wer=2e-3, sampler="bernoulli",
+                        pattern="random", no_sweep=False)
+
+
+def _apply_memsys_preset(args):
+    """Resolve preset-controlled flags: explicit > preset > baseline."""
+    preset = MEMSYS_PRESETS[args.preset] if args.preset else {}
+    for key, baseline in _MEMSYS_DEFAULTS.items():
+        if getattr(args, key) is None:
+            setattr(args, key, preset.get(key, baseline))
+
+
 def _cmd_memsys(args):
     from .memsys import ScrubPolicy, build_engine, uber_sweep
     from .memsys.sweeps import SWEEP_HEADERS
+    _apply_memsys_preset(args)
     device = MTJDevice(PAPER_EVAL_DEVICE)
     rng = _generator(args)
     scrub = (ScrubPolicy(args.scrub_interval)
@@ -116,11 +159,13 @@ def _cmd_memsys(args):
     engine = build_engine(
         device, pitch=nm_to_m(args.pitch_nm), rows=args.rows,
         cols=args.cols, ecc=args.ecc, workload=args.pattern,
-        scrub=scrub, vp=args.vp, nominal_wer=args.nominal_wer)
+        scrub=scrub, vp=args.vp, nominal_wer=args.nominal_wer,
+        sampler=args.sampler)
     config = engine.controller.describe()
     print(f"memsys: {args.rows}x{args.cols} array at "
           f"{args.pitch_nm:g} nm pitch, {args.pattern} traffic, "
-          f"{args.ecc} ECC, write pulses trimmed to "
+          f"{args.ecc} ECC, {args.sampler} sampler, write pulses "
+          f"trimmed to "
           f"{config['t_pulse0_ns']:.1f}/{config['t_pulse1_ns']:.1f} ns "
           f"(nominal WER {args.nominal_wer:g})")
     print()
@@ -129,30 +174,38 @@ def _cmd_memsys(args):
     print(format_table(headers, rows))
     print()
 
-    seed = 0 if args.seed is None else args.seed
-    sweep = uber_sweep(device, rows=args.rows, cols=args.cols,
-                       seed=seed, jobs=args.jobs,
-                       executor=args.executor, vp=args.vp,
-                       nominal_wer=args.nominal_wer)
-    print("pitch sweep (expectation mode; UBER of the worst-case data "
-          "pattern rises as pitch shrinks):")
-    print(format_table(SWEEP_HEADERS, sweep.rows, float_format=".3e"))
-    print()
-    comp_headers, comp_rows = sweep.comparison_table()
-    print(format_table(comp_headers, comp_rows, float_format=".3g"))
+    sweep = None
+    if args.no_sweep:
+        print("pitch sweep skipped (--no-sweep)")
+    else:
+        seed = 0 if args.seed is None else args.seed
+        sweep = uber_sweep(device, rows=args.rows, cols=args.cols,
+                           seed=seed, jobs=args.jobs,
+                           executor=args.executor, vp=args.vp,
+                           nominal_wer=args.nominal_wer,
+                           sampler=args.sampler)
+        print("pitch sweep (expectation mode; UBER of the worst-case "
+              "data pattern rises as pitch shrinks):")
+        print(format_table(SWEEP_HEADERS, sweep.rows,
+                           float_format=".3e"))
+        print()
+        comp_headers, comp_rows = sweep.comparison_table()
+        print(format_table(comp_headers, comp_rows, float_format=".3g"))
 
     if args.out:
         from .experiments.runner import export
         from .reporting import write_json
         import dataclasses
-        export(sweep, args.out)
+        if sweep is not None:
+            export(sweep, args.out)
         run_payload = dataclasses.asdict(result)
         run_payload.update(raw_ber=result.raw_ber, uber=result.uber,
                            word_fail_rate=result.word_fail_rate)
         import os
         path = write_json(os.path.join(args.out, "memsys_run.json"),
                           run_payload)
-        print(f"\nwrote {path} and memsys_sweep.* to {args.out}")
+        suffix = "" if sweep is None else " and memsys_sweep.*"
+        print(f"\nwrote {path}{suffix} to {args.out}")
     return 0
 
 
@@ -288,19 +341,42 @@ def build_parser():
     p = sub.add_parser(
         "memsys", help="system-level UBER under read/write traffic")
     from .memsys.ecc import ECC_SCHEMES
+    from .memsys.sampling import SAMPLERS
     from .memsys.traffic import WORKLOADS
     p.add_argument("--pitch-nm", type=float, default=70.0)
-    p.add_argument("--pattern", default="random",
-                   choices=sorted(WORKLOADS))
+    p.add_argument("--pattern", default=None,
+                   choices=sorted(WORKLOADS),
+                   help="traffic workload "
+                        f"(default {_MEMSYS_DEFAULTS['pattern']})")
     p.add_argument("--ecc", default="secded",
                    choices=sorted(ECC_SCHEMES))
-    p.add_argument("--rows", type=int, default=64)
-    p.add_argument("--cols", type=int, default=64)
-    p.add_argument("--transactions", type=int, default=50_000)
+    p.add_argument("--rows", type=int, default=None,
+                   help=f"default {_MEMSYS_DEFAULTS['rows']}")
+    p.add_argument("--cols", type=int, default=None,
+                   help=f"default {_MEMSYS_DEFAULTS['cols']}")
+    p.add_argument("--transactions", type=int, default=None,
+                   help=f"default {_MEMSYS_DEFAULTS['transactions']}")
     p.add_argument("--vp", type=float, default=0.95)
-    p.add_argument("--nominal-wer", type=float, default=2e-3,
+    p.add_argument("--nominal-wer", type=float, default=None,
                    help="per-polarity write-error trim target "
-                        "(accelerated-stress corner)")
+                        f"(default {_MEMSYS_DEFAULTS['nominal_wer']:g}"
+                        ", an accelerated-stress corner; production "
+                        "parts trim to <= 1e-6 — use --sampler "
+                        "binomial there)")
+    p.add_argument("--sampler", default=None,
+                   choices=sorted(SAMPLERS),
+                   help="Monte-Carlo draw strategy: per-cell "
+                        "'bernoulli' reference (default) or "
+                        "class-grouped 'binomial' rare-event fast "
+                        "path")
+    p.add_argument("--preset", default=None,
+                   choices=sorted(MEMSYS_PRESETS),
+                   help="large-geometry operating points "
+                        "(rows/cols/transactions/nominal-wer/sampler "
+                        "bundles; explicit flags override)")
+    p.add_argument("--no-sweep", action="store_true", default=None,
+                   help="skip the expectation-mode pitch sweep after "
+                        "the Monte-Carlo run")
     p.add_argument("--scrub-interval", type=float, default=None,
                    help="scrub period in seconds of simulated time")
     p.add_argument("--seed", type=int, default=None,

@@ -15,6 +15,12 @@ mechanisms — write error, read disturb, retention — into one number.
 * :mod:`repro.memsys.scrub` — periodic scrubbing policy,
 * :mod:`repro.memsys.engine` — vectorized Monte-Carlo engine plus a
   noise-free expectation mode,
+* :mod:`repro.memsys.sampling` — rare-event fast path: class-grouped
+  binomial flip draws and incrementally maintained coupling-class
+  maps (``sampler="binomial"``; the per-cell ``bernoulli`` reference
+  is retained),
+* :mod:`repro.memsys.bitplane` — bit-packed ``intended``/``actual``
+  array state (uint64 lanes, XOR + popcount error counting),
 * :mod:`repro.memsys.sweeps` — pitch x pattern x ECC sweeps: the
   paper's density axis carried to the system level.
 
@@ -40,7 +46,15 @@ from .ecc import (
     NoECC,
     make_ecc,
 )
+from .bitplane import BitPlane
 from .engine import MemsysResult, ReliabilityEngine, build_engine
+from .sampling import (
+    IncrementalClassMaps,
+    N_CLASSES,
+    SAMPLERS,
+    class_index,
+    sample_class_flips,
+)
 from .scrub import ScrubPolicy, no_scrub
 from .sweeps import secded_margin_pitch, uber_sweep
 from .traffic import (
@@ -55,13 +69,17 @@ from .traffic import (
 
 __all__ = [
     "ArrayController",
+    "BitPlane",
     "DecodeOutcome",
     "ECC_SCHEMES",
     "HammingSECDED",
     "HotSpotWorkload",
+    "IncrementalClassMaps",
     "MemsysResult",
+    "N_CLASSES",
     "NoECC",
     "ReliabilityEngine",
+    "SAMPLERS",
     "ScrubPolicy",
     "SequentialWorkload",
     "StressPatternWorkload",
@@ -70,7 +88,9 @@ __all__ = [
     "WordMap",
     "Workload",
     "build_engine",
+    "class_index",
     "make_ecc",
+    "sample_class_flips",
     "make_workload",
     "neighborhood_class_map",
     "no_scrub",

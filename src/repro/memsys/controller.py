@@ -35,7 +35,11 @@ from ..arrays.victim import VictimAnalysis
 from ..device.mtj import MTJDevice, MTJState
 from ..device.retention import flip_rate
 from ..errors import ParameterError
-from ..validation import require_in_range, require_positive
+from ..validation import (
+    require_in_range,
+    require_non_negative,
+    require_positive,
+)
 
 
 def neighborhood_class_map(bits):
@@ -206,10 +210,37 @@ class ArrayController:
         return self.disturb_table[np.asarray(stored_bits), nd, ng]
 
     def retention_flip_probability(self, stored_bits, nd, ng, interval):
-        """Per-cell retention-flip probability over ``interval`` [s]."""
-        require_positive(interval, "interval")
+        """Per-cell retention-flip probability over ``interval`` [s].
+
+        ``interval == 0`` is a valid zero-dwell window (a scrub
+        immediately followed by an access) and yields probability 0.
+        """
+        require_non_negative(interval, "interval")
         rate = self.retention_rate_table[np.asarray(stored_bits), nd, ng]
         return -np.expm1(-rate * interval)
+
+    # -- flat per-class probability views -----------------------------------
+    #
+    # The binomial fast path draws per *coupling class* rather than per
+    # cell; these views expose the tables in class_index order (bit
+    # major, then n_direct, then n_diagonal — the tables' memory
+    # layout), so ``flat[class_index(bit, nd, ng)] == table[bit, nd,
+    # ng]`` exactly.
+
+    def wer_class_probability(self):
+        """Flat (50,) per-class write-error probability."""
+        return self.wer_table.reshape(-1)
+
+    def disturb_class_probability(self):
+        """Flat (50,) per-class single-read disturb probability."""
+        return self.disturb_table.reshape(-1)
+
+    def retention_class_probability(self, interval):
+        """Flat (50,) per-class retention-flip probability over
+        ``interval`` [s] (``interval == 0`` allowed, yielding zeros)."""
+        require_non_negative(interval, "interval")
+        return -np.expm1(-self.retention_rate_table.reshape(-1)
+                         * interval)
 
     def describe(self):
         """Summary dict (for reports and the CLI header)."""

@@ -15,7 +15,20 @@ Two evaluation modes:
   over one write->read cycle per word against a fixed background: exact
   Poisson-binomial head (P[0], P[1] errors per word), noise-free. This
   is what the pitch sweeps use, so monotone coupling trends are not
-  buried under Monte-Carlo noise.
+  buried under Monte-Carlo noise. It draws nothing, so its output is
+  bit-identical for every ``sampler``.
+
+Monte Carlo itself has two samplers (see :mod:`repro.memsys.sampling`):
+
+* ``sampler="bernoulli"`` — the reference path: one uniform per cell
+  per mechanism against dense int8 state. Cost O(cells) per batch.
+* ``sampler="binomial"`` — the rare-event fast path: flip *counts* are
+  drawn per coupling class (at most 50 distinct probabilities) and
+  placed by index choice; ``intended``/``actual`` live bit-packed in
+  uint64 lanes (:mod:`repro.memsys.bitplane`) with XOR + popcount
+  error counting; the class maps refresh incrementally around the
+  cells that actually changed. Cost O(classified + flips), which is
+  what makes nominal_wer <= 1e-6 scenarios reachable.
 """
 
 from __future__ import annotations
@@ -29,8 +42,15 @@ from ..device.mtj import MTJDevice
 from ..errors import ParameterError
 from ..experiments.base import ExperimentResult
 from ..validation import require_positive
+from .bitplane import BitPlane
 from .controller import ArrayController
 from .ecc import DecodeOutcome, NoECC, make_ecc
+from .sampling import (
+    IncrementalClassMaps,
+    sample_class_flips,
+    sample_thinned_flips,
+    validate_sampler,
+)
 from .scrub import no_scrub
 from .traffic import StressPatternWorkload, Workload, make_workload
 
@@ -140,10 +160,16 @@ class ReliabilityEngine:
     writeback:
         Rewrite words whose read found a correctable error (through the
         write path, so the rewrite itself may inject an error).
+    sampler:
+        ``"bernoulli"`` (reference: one uniform per cell per mechanism)
+        or ``"binomial"`` (rare-event fast path: class-grouped flip
+        counts over bit-packed state). Statistically equivalent;
+        ``expected_rates`` is identical under both.
     """
 
     def __init__(self, controller, workload="random", scrub=None,
-                 cycle_time=50e-9, writeback=True):
+                 cycle_time=50e-9, writeback=True,
+                 sampler="bernoulli"):
         if not isinstance(controller, ArrayController):
             raise ParameterError(
                 f"controller must be an ArrayController, got "
@@ -159,6 +185,7 @@ class ReliabilityEngine:
         self.scrub = no_scrub() if scrub is None else scrub
         self.cycle_time = float(cycle_time)
         self.writeback = bool(writeback)
+        self.sampler = validate_sampler(sampler)
 
     def _config(self):
         return {
@@ -168,6 +195,7 @@ class ReliabilityEngine:
             "ecc": type(self.controller.ecc).__name__,
             "cycle_time_s": self.cycle_time,
             "writeback": self.writeback,
+            "sampler": self.sampler,
         }
 
     # -- Monte-Carlo mode ---------------------------------------------------
@@ -181,10 +209,27 @@ class ReliabilityEngine:
         round is a pure numpy array step. Coupling-class maps and
         retention exposure refresh at batch boundaries (the background
         data drifts slowly relative to a batch).
+
+        The constructor's ``sampler`` selects how flips are drawn: the
+        ``bernoulli`` reference draws one uniform per cell per
+        mechanism; the ``binomial`` fast path draws per-class flip
+        counts over bit-packed state. Both are deterministic under a
+        seeded ``rng`` and statistically equivalent; their draw
+        streams (and therefore individual seeded counters) differ.
         """
         require_positive(n_transactions, "n_transactions")
         require_positive(batch_size, "batch_size")
         rng = np.random.default_rng(rng)
+        if self.sampler == "binomial":
+            return self._run_binomial(int(n_transactions), rng,
+                                      int(batch_size))
+        return self._run_bernoulli(int(n_transactions), rng,
+                                   int(batch_size))
+
+    # -- bernoulli reference path -------------------------------------------
+
+    def _run_bernoulli(self, n_transactions, rng, batch_size):
+        """One uniform per cell per mechanism over dense int8 state."""
         ctl = self.controller
         words = ctl.words
         rows, cols = ctl.layout.rows, ctl.layout.cols
@@ -316,6 +361,168 @@ class ReliabilityEngine:
             self._rewrite(cells[fixable], intended, actual, nd, ng,
                           rng, result)
 
+    # -- binomial fast path -------------------------------------------------
+    #
+    # Same batch/round structure as the reference, but flips are drawn
+    # per coupling class (50 binomials instead of one uniform per
+    # cell), state is bit-packed, class maps refresh incrementally, and
+    # an exact array-wide wrong-bit counter short-circuits the common
+    # all-clean read case. One deliberate second-order difference: the
+    # reference recomputes class maps inside a scrub pass for its
+    # rewrites, the fast path reuses the batch's maps — at rare-event
+    # rates the maps differ only at the handful of freshly flipped
+    # cells.
+
+    def _run_binomial(self, n_transactions, rng, batch_size):
+        """Class-grouped binomial draws over bit-packed planes."""
+        ctl = self.controller
+        words = ctl.words
+        rows, cols = ctl.layout.rows, ctl.layout.cols
+
+        initial = self.workload.initial_bits(rows, cols, rng)
+        flat = np.asarray(initial, dtype=np.int8).reshape(-1)
+        intended = BitPlane.from_bits(flat, words.n_words,
+                                      ctl.ecc.n_code)
+        state = _PackedState(intended, intended.copy(),
+                             IncrementalClassMaps(rows, cols, intended),
+                             ctl)
+        self.workload.bind(words)
+        self.workload.reset()
+        self.scrub.reset()
+
+        result = MemsysResult(config=self._config())
+        data_positions = ctl.ecc.data_positions
+        now = 0.0
+        remaining = int(n_transactions)
+        while remaining > 0:
+            n = min(int(batch_size), remaining)
+            remaining -= n
+            batch = self.workload.batch(n, words.n_words, rng)
+            state.maps.refresh(state.actual)
+
+            dt = n * self.cycle_time
+            now += dt
+            flips = sample_class_flips(
+                state.maps.class_idx,
+                ctl.retention_class_probability(dt), rng,
+                hist=state.maps.hist)
+            if flips.size:
+                state.toggle(flips)
+            result.retention_flips += int(flips.size)
+            if self.scrub.due(now):
+                self._run_scrub_binomial(state, rng, result)
+                self.scrub.mark_done(now)
+
+            rank = _occurrence_rank(batch.word)
+            for r in range(int(rank.max()) + 1 if len(batch) else 0):
+                sel = rank == r
+                self._apply_round_binomial(
+                    batch.word[sel], batch.is_write[sel], state,
+                    data_positions, rng, result)
+
+            result.n_transactions += n
+
+        result.simulated_time = now
+        return result
+
+    def _apply_round_binomial(self, round_words, is_write, state,
+                              data_positions, rng, result):
+        """One unique-word round over the packed state."""
+        ctl = self.controller
+        words = ctl.words
+        ecc = ctl.ecc
+        maps = state.maps
+
+        w_words = round_words[is_write]
+        result.n_writes += int(w_words.size)
+        if w_words.size:
+            data = self._write_data(w_words, words, data_positions, rng)
+            cw = ecc.encode(data)
+            cells = words.cells[w_words].reshape(-1)
+            cw_flat = cw.reshape(-1)
+            flips = sample_thinned_flips(
+                cells.size, state.wer_p,
+                lambda cand: maps.cell_classes(cw_flat[cand],
+                                               cells[cand]),
+                rng, p_max=state.wer_pmax)
+            state.write_words(w_words, cw, cells[flips])
+            result.bits_written += int(cw.size)
+            result.write_errors += int(flips.size)
+
+        r_words = round_words[~is_write]
+        result.n_reads += int(r_words.size)
+        if r_words.size:
+            cells = words.cells[r_words].reshape(-1)
+            result.bits_read += int(cells.size)
+            if state.wrong_bits:
+                self._book_read_errors(r_words, state, rng, result)
+            else:
+                # No mismatched bit anywhere in the array: every read
+                # is clean without touching any per-word array.
+                result.words_ok += int(r_words.size)
+            # Disturb of the read current: candidates are classified
+            # lazily, from the post-rewrite stored bits.
+            actual = state.actual
+            flips = sample_thinned_flips(
+                cells.size, state.disturb_p,
+                lambda cand: maps.cell_classes(
+                    actual.get_cells(cells[cand]), cells[cand]),
+                rng, p_max=state.disturb_pmax)
+            if flips.size:
+                state.toggle(cells[flips])
+            result.disturb_flips += int(flips.size)
+
+    def _book_read_errors(self, r_words, state, rng, result):
+        """ECC bookkeeping for a read round with live errors present."""
+        ecc = self.controller.ecc
+        n_err = state.err_count[r_words]
+        outcomes = ecc.classify_errors(n_err)
+        by_outcome = np.bincount(outcomes, minlength=4)
+        result.raw_bit_errors += int(n_err.sum())
+        result.words_ok += int(by_outcome[DecodeOutcome.OK])
+        result.words_corrected += int(
+            by_outcome[DecodeOutcome.CORRECTED])
+        result.words_detected += int(by_outcome[DecodeOutcome.DETECTED])
+        result.words_silent += int(by_outcome[DecodeOutcome.SILENT])
+        if by_outcome[DecodeOutcome.DETECTED] or by_outcome[
+                DecodeOutcome.SILENT]:
+            uncorr = outcomes >= DecodeOutcome.DETECTED
+            result.uncorrectable_bit_errors += int(n_err[uncorr].sum())
+        if self.writeback and by_outcome[DecodeOutcome.CORRECTED]:
+            corrected = outcomes == DecodeOutcome.CORRECTED
+            self._rewrite_binomial(r_words[corrected], state, rng,
+                                   result)
+
+    def _rewrite_binomial(self, word_idx, state, rng, result):
+        """Rewrite whole words through the (fallible) write path."""
+        ctl = self.controller
+        cells = ctl.words.cells[word_idx].reshape(-1)
+        maps = state.maps
+        intended = state.intended
+        flips = sample_thinned_flips(
+            cells.size, state.wer_p,
+            lambda cand: maps.cell_classes(
+                intended.get_cells(cells[cand]), cells[cand]),
+            rng, p_max=state.wer_pmax)
+        state.restore_words(word_idx, cells[flips])
+        result.bits_written += int(cells.size)
+        result.write_errors += int(flips.size)
+
+    def _run_scrub_binomial(self, state, rng, result):
+        """One scrub pass over the maintained per-word error counts."""
+        ctl = self.controller
+        n_err = state.err_count
+        outcomes = ctl.ecc.classify_errors(n_err)
+        fixable = ((outcomes == DecodeOutcome.CORRECTED)
+                   | (outcomes == DecodeOutcome.OK)) & (n_err > 0)
+        result.n_scrubs += 1
+        result.scrub_corrected_words += int(fixable.sum())
+        result.scrub_uncorrectable_words += int(
+            (outcomes >= DecodeOutcome.DETECTED).sum())
+        if np.any(fixable):
+            self._rewrite_binomial(np.flatnonzero(fixable), state, rng,
+                                   result)
+
     # -- expectation mode ---------------------------------------------------
 
     def expected_rates(self, rng=None):
@@ -365,16 +572,85 @@ class ReliabilityEngine:
         }
 
 
+class _PackedState:
+    """Packed planes + class maps + exact per-word error counters.
+
+    ``err_count[w]`` tracks, exactly, how many cells of word ``w``
+    currently disagree with their intended value; ``wrong_bits`` is its
+    array-wide total. Both are maintained at every mutation — O(flips)
+    each — so a read books its error count with one int gather and, at
+    rare-event operating points (where ``wrong_bits`` is almost always
+    zero), without touching any per-word array at all. The packed
+    planes stay the ground truth: ``BitPlane.diff_counts`` (XOR +
+    popcount) must agree with ``err_count`` at any instant, which the
+    equivalence tests assert.
+    """
+
+    def __init__(self, intended, actual, maps, controller):
+        self.intended = intended
+        self.actual = actual
+        self.maps = maps
+        self.err_count = np.zeros(intended.n_words, dtype=np.int16)
+        self.wrong_bits = 0
+        # Run-scoped clipped copies of the controller's fixed per-class
+        # tables (plus their maxima), so the thinned draws skip a table
+        # scan per call without leaking state onto the engine.
+        self.wer_p = np.clip(controller.wer_class_probability(),
+                             0.0, 1.0)
+        self.wer_pmax = float(self.wer_p.max())
+        self.disturb_p = np.clip(
+            controller.disturb_class_probability(), 0.0, 1.0)
+        self.disturb_pmax = float(self.disturb_p.max())
+
+    def toggle(self, flat_idx):
+        """Flip ``actual`` at flat cells (duplicate-free indices)."""
+        mapped = flat_idx[flat_idx < self.actual.n_mapped]
+        if mapped.size:
+            wrong_before = (self.actual.get_cells(mapped)
+                            != self.intended.get_cells(mapped))
+            delta = (1 - 2 * wrong_before.astype(np.int16))
+            np.add.at(self.err_count,
+                      mapped // self.actual.code_bits, delta)
+            self.wrong_bits += int(delta.sum())
+        self.actual.toggle_cells(flat_idx)
+
+    def write_words(self, word_idx, cw, flip_cells):
+        """``intended = actual = cw``, then inject errors at
+        ``flip_cells`` (flat cell indices inside the written words)."""
+        self.wrong_bits -= int(self.err_count[word_idx].sum())
+        self.err_count[word_idx] = 0
+        self.intended.set_words(word_idx, cw)
+        self.actual.set_words(word_idx, cw)
+        self._inject(flip_cells)
+
+    def restore_words(self, word_idx, flip_cells):
+        """``actual = intended`` for whole words, plus write errors."""
+        self.wrong_bits -= int(self.err_count[word_idx].sum())
+        self.err_count[word_idx] = 0
+        self.actual.lanes[word_idx] = self.intended.lanes[word_idx]
+        self._inject(flip_cells)
+
+    def _inject(self, flip_cells):
+        if flip_cells.size:
+            self.actual.toggle_cells(flip_cells)
+            np.add.at(self.err_count,
+                      flip_cells // self.actual.code_bits,
+                      np.int16(1))
+            self.wrong_bits += int(flip_cells.size)
+
+
 def build_engine(device, pitch, rows=64, cols=64, ecc="secded",
                  workload="random", data_bits=64, scrub=None,
                  vp=0.95, nominal_wer=2e-3, read_voltage=0.15,
                  t_read=20e-9, cycle_time=50e-9, temperature=None,
-                 writeback=True):
+                 writeback=True, sampler="bernoulli"):
     """Convenience factory: device + knobs -> :class:`ReliabilityEngine`.
 
     ``ecc`` and ``workload`` accept registry names (see
     :data:`repro.memsys.ecc.ECC_SCHEMES` and
-    :data:`repro.memsys.traffic.WORKLOADS`).
+    :data:`repro.memsys.traffic.WORKLOADS`); ``sampler`` selects the
+    Monte-Carlo draw strategy (see :data:`repro.memsys.sampling.\
+SAMPLERS` — use ``"binomial"`` for rare-event operating points).
     """
     from ..arrays.layout import ArrayLayout
     if not isinstance(device, MTJDevice):
@@ -388,7 +664,8 @@ def build_engine(device, pitch, rows=64, cols=64, ecc="secded",
         read_voltage=read_voltage, t_read=t_read,
         temperature=temperature)
     return ReliabilityEngine(controller, workload=workload, scrub=scrub,
-                             cycle_time=cycle_time, writeback=writeback)
+                             cycle_time=cycle_time, writeback=writeback,
+                             sampler=sampler)
 
 
 def _occurrence_rank(words):

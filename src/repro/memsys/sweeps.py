@@ -13,6 +13,13 @@ is a module-level function (so process pools can pickle it), and result
 order is the spec's enumeration order for every executor — which is why
 ``executor="process"`` produces byte-identical tables to the serial
 baseline for the same seed.
+
+Sampler contract: expectation mode draws nothing, so these sweeps are
+*bit-identical* under every ``sampler=`` engine kwarg — passing
+``sampler="binomial"`` through ``engine_kwargs`` is valid (and what the
+CLI does), it simply cannot change the numbers. Monte-Carlo runs at the
+sweep's operating points are where the sampler matters; see
+:mod:`repro.memsys.sampling`.
 """
 
 from __future__ import annotations

@@ -74,6 +74,36 @@ class TestCommands:
             outputs.append(capsys.readouterr().out)
         assert outputs[0] == outputs[1]
 
+    def test_memsys_binomial_sampler(self, capsys):
+        assert main(["memsys", "--seed", "3", "--rows", "16",
+                     "--cols", "16", "--transactions", "1000",
+                     "--sampler", "binomial", "--no-sweep"]) == 0
+        out = capsys.readouterr().out
+        assert "binomial sampler" in out
+        assert "raw BER (pre-ECC)" in out
+        assert "pitch sweep skipped" in out
+
+    def test_memsys_preset_overlays_defaults(self):
+        from repro.cli import _apply_memsys_preset, build_parser
+        args = build_parser().parse_args(
+            ["memsys", "--preset", "chip-1024",
+             "--transactions", "5000"])
+        _apply_memsys_preset(args)
+        # preset values land...
+        assert args.rows == args.cols == 1024
+        assert args.sampler == "binomial"
+        assert args.nominal_wer == 1e-6
+        assert args.no_sweep is True
+        # ...but explicit flags win.
+        assert args.transactions == 5000
+
+    def test_memsys_preset_runs(self, capsys):
+        assert main(["memsys", "--preset", "stress", "--seed", "1",
+                     "--rows", "16", "--cols", "16",
+                     "--transactions", "500", "--no-sweep"]) == 0
+        out = capsys.readouterr().out
+        assert "checkerboard traffic" in out
+
     def test_memsys_out(self, tmp_path, capsys):
         out_dir = str(tmp_path / "memsys")
         assert main(["memsys", "--seed", "1", "--rows", "16",

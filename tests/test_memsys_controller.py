@@ -118,6 +118,42 @@ class TestTables:
             bits, nd, ng, 1e6)
         assert np.all(p_long >= p_short)
 
+    def test_retention_zero_interval_allowed(self, controller):
+        """A zero-dwell window (scrub immediately before the access)
+        is valid and yields flip probability exactly 0."""
+        bits = np.zeros((2, 2), dtype=np.int8)
+        nd = np.full((2, 2), 2)
+        ng = np.full((2, 2), 2)
+        p = controller.retention_flip_probability(bits, nd, ng, 0.0)
+        assert np.all(p == 0.0)
+        assert np.all(controller.retention_class_probability(0.0)
+                      == 0.0)
+
+    def test_retention_negative_interval_rejected(self, controller):
+        bits = np.zeros((2, 2), dtype=np.int8)
+        nd = ng = np.full((2, 2), 2)
+        with pytest.raises(ParameterError):
+            controller.retention_flip_probability(bits, nd, ng, -1.0)
+        with pytest.raises(ParameterError):
+            controller.retention_class_probability(-1e-9)
+
+    def test_class_probability_views_match_tables(self, controller):
+        """Flat views follow the class_index memory layout exactly."""
+        from repro.memsys.sampling import class_index
+        bits = np.array([0, 1, 1, 0])
+        nd = np.array([0, 2, 4, 1])
+        ng = np.array([3, 0, 4, 2])
+        ci = class_index(bits, nd, ng)
+        assert np.array_equal(
+            controller.wer_class_probability()[ci],
+            controller.wer_table[bits, nd, ng])
+        assert np.array_equal(
+            controller.disturb_class_probability()[ci],
+            controller.disturb_table[bits, nd, ng])
+        assert np.allclose(
+            controller.retention_class_probability(0.5)[ci],
+            controller.retention_flip_probability(bits, nd, ng, 0.5))
+
     def test_describe(self, controller):
         info = controller.describe()
         assert info["code_bits"] == 72

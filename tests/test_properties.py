@@ -276,3 +276,40 @@ class TestCouplingAlgebra:
         psi_2 = coupling_factor(stack, nm_to_m(pitch_nm),
                                 oe_to_am(1100.0))
         assert psi_2 == pytest.approx(2 * psi_1, rel=1e-12)
+
+
+class TestOccurrenceRank:
+    """Properties of the engine's round-splitting occurrence rank.
+
+    ``_occurrence_rank`` partitions a batch of word addresses into
+    rounds: the r-th access to each word lands in round r, so every
+    round touches each word at most once while repeated accesses keep
+    their sequential order.
+    """
+
+    WORDS = st.lists(st.integers(min_value=0, max_value=25),
+                     max_size=120)
+
+    @settings(max_examples=200, deadline=None)
+    @given(WORDS)
+    def test_each_word_at_most_once_per_round(self, words):
+        from repro.memsys.engine import _occurrence_rank
+        w = np.asarray(words, dtype=np.int64)
+        rank = _occurrence_rank(w)
+        assert rank.shape == w.shape
+        n_rounds = int(rank.max()) + 1 if len(words) else 0
+        for r in range(n_rounds):
+            in_round = w[rank == r]
+            assert len(np.unique(in_round)) == len(in_round)
+
+    @settings(max_examples=200, deadline=None)
+    @given(WORDS)
+    def test_ranks_dense_and_sequential_per_word(self, words):
+        from repro.memsys.engine import _occurrence_rank
+        w = np.asarray(words, dtype=np.int64)
+        rank = _occurrence_rank(w)
+        for word in set(words):
+            ranks = rank[w == word]
+            # dense: exactly 0..k-1 for k occurrences, and in batch
+            # order — the i-th occurrence gets rank i.
+            assert list(ranks) == list(range(len(ranks)))
