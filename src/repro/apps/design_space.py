@@ -128,7 +128,8 @@ class DesignSpaceExplorer:
         spec = SweepSpec.product(
             ecd=[float(e) for e in ecds],
             ratio=[float(r) for r in pitch_ratios])
-        executor = executor or executor_for_jobs(jobs)
+        executor = executor or executor_for_jobs(jobs,
+                                                 n_points=len(spec))
         func = partial(_design_point, self.base_params,
                        self.probe_voltage)
         runner = SweepRunner(func, executor=executor, jobs=jobs)

@@ -7,6 +7,7 @@ Subcommands::
     python -m repro.cli design --ecds-nm 25,35,45  design-space table
     python -m repro.cli wer --vp 0.95 [...]        write-error pulse sizing
     python -m repro.cli memsys --pitch-nm 70 [...] system-level UBER
+    python -m repro.cli worker --spool DIR         distributed-sweep worker
     python -m repro.cli cache info|clear|warm      on-disk kernel cache
     python -m repro.cli model-card --out DIR       compact-model export
 
@@ -26,7 +27,11 @@ Sweep-shaped subcommands (``reproduce``, ``design``, ``memsys``) accept
 ``--jobs N`` to fan the underlying :mod:`repro.sweep` grid out over N
 workers; results are identical to the serial run. ``--executor`` picks
 the worker flavor explicitly (``thread`` parallelizes inside one
-process and shares its kernel store; ``process``/``chunked`` fork).
+process and shares its kernel store; ``process``/``chunked`` fork;
+``distributed`` ships chunks over a spool-directory job queue that
+``repro worker`` processes — started on any host sharing the
+``REPRO_SWEEP_SPOOL`` directory — serve, warm-started from a shared
+``REPRO_KERNEL_CACHE``).
 
 ``cache`` manages the persistent kernel cache that the
 ``REPRO_KERNEL_CACHE`` environment variable enables: ``info`` inspects
@@ -104,8 +109,13 @@ def _cmd_wer(args):
         pulse = model.pulse_for_wer(args.target, args.vp, hz_worst)
         penalty = pulse - model.pulse_for_wer(args.target, args.vp,
                                               victim.hz_total(ALL_AP))
+        # The class-grouped binomial draw: each stress corner is one
+        # class of n_samples exchangeable write attempts, so the whole
+        # column costs one count draw per row instead of the retired
+        # per-sample angle loop (method="angles" keeps the reference).
         sampled = model.sample_wer(pulse, args.vp, hz_worst,
-                                   n_samples=args.samples, rng=rng)
+                                   n_samples=args.samples, rng=rng,
+                                   method="binomial")
         rows.append((f"{ratio:g}x", pulse * 1e9, penalty * 1e9, sampled))
     print(format_table(
         ["pitch", f"pulse for WER={args.target:g} (ns)",
@@ -207,6 +217,12 @@ def _cmd_memsys(args):
         suffix = "" if sweep is None else " and memsys_sweep.*"
         print(f"\nwrote {path}{suffix} to {args.out}")
     return 0
+
+
+def _cmd_worker(args):
+    from .sweep.distributed import run_worker
+    return run_worker(spool=args.spool, worker_id=args.id,
+                      poll=args.poll, max_idle=args.max_idle)
 
 
 def _cmd_cache(args):
@@ -385,6 +401,13 @@ def build_parser():
     p.add_argument("--out", default=None,
                    help="directory for CSV/JSON exports")
     p.set_defaults(func=_cmd_memsys)
+
+    from .sweep.distributed import add_worker_arguments
+    p = sub.add_parser(
+        "worker",
+        help="serve distributed sweep chunks from a spool directory")
+    add_worker_arguments(p)
+    p.set_defaults(func=_cmd_worker)
 
     p = sub.add_parser(
         "cache", help="inspect/clear/warm the on-disk kernel cache")

@@ -88,6 +88,9 @@ def run_all(include_extensions=False, jobs=None, executor=None):
         modules.update(EXTENSIONS)
     names = list(modules)
     spec = SweepSpec.zipped(name=names)
+    # No n_points hint here: the small-grid thread preference is for
+    # cheap field-bound points, and a figure is a whole GIL-bound
+    # experiment pipeline — worker processes stay the right default.
     executor = executor or executor_for_jobs(jobs)
     result = SweepRunner(_run_experiment, executor=executor,
                          jobs=jobs).run(spec)

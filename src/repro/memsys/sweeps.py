@@ -9,10 +9,12 @@ not buried under Monte-Carlo noise.
 
 Both sweeps run on the generic :mod:`repro.sweep` engine: the parameter
 grid is a :class:`~repro.sweep.spec.SweepSpec`, the per-point evaluation
-is a module-level function (so process pools can pickle it), and result
+is a module-level function (so process pools — and the spool-directory
+workers of the ``distributed`` executor — can pickle it), and result
 order is the spec's enumeration order for every executor — which is why
-``executor="process"`` produces byte-identical tables to the serial
-baseline for the same seed.
+``executor="process"`` (or ``"distributed"``, fanning the dense pitch
+grids of the paper's density claims out across machines) produces
+byte-identical tables to the serial baseline for the same seed.
 
 Sampler contract: expectation mode draws nothing, so these sweeps are
 *bit-identical* under every ``sampler=`` engine kwarg — passing
@@ -94,7 +96,7 @@ def uber_sweep(device, pitch_ratios=DEFAULT_PITCH_RATIOS,
                              ratio=pitch_ratios)
     func = partial(_rates_point, device, rows, cols, seed,
                    engine_kwargs)
-    executor = executor or executor_for_jobs(jobs)
+    executor = executor or executor_for_jobs(jobs, n_points=len(spec))
     sweep_result = SweepRunner(func, executor=executor, jobs=jobs).run(
         spec)
 
@@ -212,7 +214,8 @@ def secded_margin_pitch(device, uber_target, pattern="solid0",
         raise ParameterError("ratios must not be empty")
     func = partial(_rates_point, device, rows, cols, seed,
                    engine_kwargs)
-    executor = executor or executor_for_jobs(jobs)
+    executor = executor or executor_for_jobs(jobs,
+                                             n_points=len(ratios))
     if executor == "serial":
         # Lazy scan: stop at the first miss, like the pre-engine loop.
         # This path bypasses SweepRunner, so it persists its own

@@ -8,9 +8,13 @@ that shape first-class:
 * :mod:`repro.sweep.spec` — :class:`SweepSpec`: named axes with
   product/zip composition,
 * :mod:`repro.sweep.runner` — :class:`SweepRunner`: serial, thread,
-  process-pool, and chunked executors with deterministic result order,
+  process-pool, chunked, and distributed executors with deterministic
+  result order,
 * :mod:`repro.sweep.result` — :class:`SweepResult`: values in spec
-  order, grid reshaping, table rendering.
+  order, grid reshaping, table rendering,
+* :mod:`repro.sweep.distributed` — the spool-directory broker/worker
+  transport behind the ``distributed`` executor: work-stealing chunk
+  scheduling, heartbeats, crash retry, at-most-once result commit.
 
 Quick start::
 
@@ -28,9 +32,18 @@ Consumers: :meth:`repro.apps.design_space.DesignSpaceExplorer.sweep`,
 ``python -m repro.cli``.
 """
 
+from .distributed import (
+    SHUTDOWN_SENTINEL,
+    SWEEP_SPAWN_ENV,
+    SWEEP_SPOOL_ENV,
+    DistributedBroker,
+    SpoolWorker,
+    schedule_chunks,
+)
 from .result import SweepResult
 from .runner import (
     EXECUTORS,
+    SMALL_SWEEP_POINTS,
     SWEEP_EXECUTOR_ENV,
     SweepRunner,
     add_sweep_arguments,
@@ -41,11 +54,18 @@ from .spec import SweepSpec
 
 __all__ = [
     "EXECUTORS",
+    "SHUTDOWN_SENTINEL",
+    "SMALL_SWEEP_POINTS",
     "SWEEP_EXECUTOR_ENV",
+    "SWEEP_SPAWN_ENV",
+    "SWEEP_SPOOL_ENV",
+    "DistributedBroker",
+    "SpoolWorker",
     "SweepResult",
     "SweepRunner",
     "SweepSpec",
     "add_sweep_arguments",
     "executor_for_jobs",
     "run_sweep",
+    "schedule_chunks",
 ]

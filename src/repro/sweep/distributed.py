@@ -1,0 +1,833 @@
+"""Distributed sweep execution over a spool-directory job queue.
+
+The fifth :data:`~repro.sweep.runner.EXECUTORS` entry ships
+:class:`~repro.sweep.spec.SweepSpec` chunks to *worker processes* —
+spawned locally by the broker, or attached from anywhere that can see
+the spool directory (``python -m repro.cli worker --spool DIR``). The
+transport is a plain directory of pickle files with atomic-rename
+claims, so it needs no sockets, no daemons, and works across any
+shared filesystem; with :data:`~repro.arrays.kernel_disk.KERNEL_CACHE_ENV`
+pointing at common storage every worker starts from the shared
+persistent kernel cache.
+
+Protocol (one *run* per sweep, one directory per run)::
+
+    <spool>/
+      shutdown                    # sentinel: long-lived workers exit
+      run-<token>/
+        task.pkl                  # the (picklable) point function
+        OPEN                      # broker accepts claims while present
+        DONE                      # all results collected; workers move on
+        queue/chunk-000007.job    # pending chunk: index + point dicts
+        claimed/chunk-000007.job@<wid>   # atomic-rename claim
+        results/chunk-000007.pkl  # committed values (or shipped error)
+        hb/<wid>                  # heartbeats, refreshed by a ticker
+                                  # thread while a chunk evaluates
+
+Scheduling is *dynamic work stealing*: chunk sizes follow the guided
+self-scheduling rule (:func:`schedule_chunks` — large chunks first,
+small tail chunks last), workers pull the next pending chunk the moment
+they finish one, and the broker (a) re-queues chunks whose claimer's
+heartbeat went stale — a crashed or stalled worker loses its chunk to a
+live one — and (b) optionally steals queued chunks itself while it
+waits, which also guarantees liveness with zero attached workers.
+
+Delivery semantics: claims are at-least-once (a stale claim is retried
+up to ``max_attempts`` times), result *commits* are at-most-once — a
+worker only commits a chunk it has not already seen committed, commits
+are atomic renames, and the broker takes the first commit per chunk and
+counts any late duplicate from a presumed-dead worker. Chunk results
+reassemble in chunk order, so a seeded distributed sweep is
+byte-identical to the serial baseline.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import shutil
+import tempfile
+import threading
+import time
+import uuid
+
+from ..errors import ParameterError
+from ..validation import require_int_in_range, require_positive
+from .runner import _flush_kernel_store
+
+#: Spool directory the ``distributed`` executor and external workers
+#: rendezvous in; without it the broker uses a private temp spool.
+SWEEP_SPOOL_ENV = "REPRO_SWEEP_SPOOL"
+
+#: Local-worker count the broker spawns (default: its job count).
+#: ``REPRO_SWEEP_SPAWN=0`` defers entirely to externally attached
+#: workers (the broker still steals, so the sweep cannot deadlock).
+SWEEP_SPAWN_ENV = "REPRO_SWEEP_SPAWN"
+
+#: Sentinel file name (in the spool root) that tells long-lived
+#: workers to exit: ``touch $REPRO_SWEEP_SPOOL/shutdown``.
+SHUTDOWN_SENTINEL = "shutdown"
+
+_RUN_PREFIX = "run-"
+_JOB_SUFFIX = ".job"
+_CLAIM_SEP = "@"
+
+
+def _atomic_write(path, payload):
+    """Pickle ``payload`` to ``path`` via a same-directory atomic rename."""
+    directory, name = os.path.split(path)
+    tmp = os.path.join(directory, f".tmp-{uuid.uuid4().hex[:8]}-{name}")
+    with open(tmp, "wb") as fh:
+        pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+    os.replace(tmp, path)
+
+
+def _load_pickle(path):
+    with open(path, "rb") as fh:
+        return pickle.load(fh)
+
+
+def _picklable_error(exc):
+    """``exc`` if it survives a pickle round-trip, else a wrapper.
+
+    Worker exceptions cross a process boundary by value; an exception
+    holding an unpicklable payload must degrade to a description, not
+    take the result file down with it.
+    """
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return RuntimeError(f"distributed sweep point failed: {exc!r}")
+
+
+def schedule_chunks(n_points, n_workers, chunk_size=None, min_chunk=1):
+    """``(start, stop)`` chunk bounds for dynamic work stealing.
+
+    With an explicit ``chunk_size`` the split is uniform (the
+    ``chunked`` executor's contract, kept so ``chunk_size`` means the
+    same thing on every executor). Otherwise sizes follow the guided
+    self-scheduling rule: each next chunk takes ``remaining / (2 *
+    workers)`` points, never below ``min_chunk`` — the sweep opens with
+    large, cheap-to-ship chunks and ends with small tail chunks that
+    let fast workers steal the remainder out from under slow ones
+    instead of waiting on one oversized final chunk.
+    """
+    require_int_in_range(n_points, "n_points", 0, 10**9)
+    require_int_in_range(n_workers, "n_workers", 1, 4096)
+    if chunk_size is not None:
+        require_int_in_range(chunk_size, "chunk_size", 1, 1_000_000)
+    require_int_in_range(min_chunk, "min_chunk", 1, 1_000_000)
+    bounds = []
+    start = 0
+    while start < n_points:
+        remaining = n_points - start
+        if chunk_size is not None:
+            size = chunk_size
+        else:
+            size = max(min_chunk, remaining // (2 * n_workers))
+        size = min(size, remaining)
+        bounds.append((start, start + size))
+        start += size
+    return bounds
+
+
+def _job_name(chunk):
+    return f"chunk-{chunk:06d}{_JOB_SUFFIX}"
+
+
+def _chunk_of(name):
+    stem = name.split(_CLAIM_SEP, 1)[0]
+    return int(stem[len("chunk-"):-len(_JOB_SUFFIX)])
+
+
+class SpoolRun:
+    """One sweep run inside a spool directory — both protocol ends.
+
+    The broker constructs it with :meth:`create` (which lays out the
+    run directory and persists the point function); workers construct
+    it from the path alone. Every mutation is an atomic rename, so
+    concurrent claims, commits, and steals never observe torn state.
+    """
+
+    def __init__(self, path):
+        self.path = str(path)
+        self.queue_dir = os.path.join(self.path, "queue")
+        self.claimed_dir = os.path.join(self.path, "claimed")
+        self.results_dir = os.path.join(self.path, "results")
+        self.hb_dir = os.path.join(self.path, "hb")
+        self._task_path = os.path.join(self.path, "task.pkl")
+        self._open_path = os.path.join(self.path, "OPEN")
+        self._done_path = os.path.join(self.path, "DONE")
+
+    # -- broker side ---------------------------------------------------------
+
+    @classmethod
+    def create(cls, spool, func):
+        """Lay out a fresh run directory under ``spool``."""
+        os.makedirs(spool, exist_ok=True)
+        path = os.path.join(spool,
+                            f"{_RUN_PREFIX}{uuid.uuid4().hex[:12]}")
+        os.mkdir(path)
+        run = cls(path)
+        for directory in (run.queue_dir, run.claimed_dir,
+                          run.results_dir, run.hb_dir):
+            os.mkdir(directory)
+        _atomic_write(run._task_path, func)
+        return run
+
+    def enqueue(self, chunk, points):
+        """Queue one chunk job (atomically; claimable immediately)."""
+        _atomic_write(os.path.join(self.queue_dir, _job_name(chunk)),
+                      {"chunk": int(chunk), "points": list(points)})
+
+    def open(self):
+        """Start accepting claims (written after every job is queued)."""
+        with open(self._open_path, "w"):
+            pass
+
+    def is_open(self):
+        return os.path.exists(self._open_path)
+
+    def mark_done(self):
+        """All results collected: flip OPEN -> DONE so workers move on."""
+        with open(self._done_path, "w"):
+            pass
+        try:
+            os.unlink(self._open_path)
+        except OSError:
+            pass
+
+    def is_done(self):
+        return os.path.exists(self._done_path)
+
+    def collect(self, skip=frozenset()):
+        """Yield ``(chunk, payload)`` of committed results not in ``skip``.
+
+        Files mid-commit never appear: commits are atomic renames, and
+        the in-flight temp names start with a dot.
+        """
+        try:
+            names = sorted(os.listdir(self.results_dir))
+        except FileNotFoundError:
+            return
+        for name in names:
+            if name.startswith("."):
+                continue
+            chunk = int(name[len("chunk-"):-len(".pkl")])
+            if chunk in skip:
+                continue
+            yield chunk, _load_pickle(
+                os.path.join(self.results_dir, name))
+
+    def claimed_jobs(self):
+        """``(chunk, worker_id, path)`` of every outstanding claim."""
+        out = []
+        for name in sorted(os.listdir(self.claimed_dir)):
+            if name.startswith(".") or _CLAIM_SEP not in name:
+                continue
+            job, wid = name.split(_CLAIM_SEP, 1)
+            out.append((_chunk_of(job), wid,
+                        os.path.join(self.claimed_dir, name)))
+        return out
+
+    def heartbeat_age(self, worker_id, claim_path):
+        """Seconds since this claim was last known live.
+
+        The *minimum* of the heartbeat file's age and the claim file's
+        age (the claim is mtime-stamped at claim time): a worker that
+        died before its first heartbeat never writes the hb file — the
+        claim's age covers it — while a worker re-claiming after an
+        idle stretch must not be condemned by the stale hb file of its
+        *previous* chunk before its first fresh touch lands.
+        """
+        ages = []
+        for path in (os.path.join(self.hb_dir, worker_id), claim_path):
+            try:
+                ages.append(time.time() - os.path.getmtime(path))
+            except OSError:
+                continue
+        return min(ages) if ages else float("inf")
+
+    def requeue(self, claim_path):
+        """Steal a (stale) claim back onto the queue; returns the chunk.
+
+        Returns None when the claim vanished underneath us — its worker
+        committed and cleared it between the staleness check and now,
+        which is not an error (the result is already in ``results/``).
+        """
+        name = os.path.basename(claim_path).split(_CLAIM_SEP, 1)[0]
+        try:
+            os.rename(claim_path, os.path.join(self.queue_dir, name))
+        except OSError:
+            return None
+        return _chunk_of(name)
+
+    # -- worker side ---------------------------------------------------------
+
+    def load_func(self):
+        """The run's point function (pickled once by the broker)."""
+        return _load_pickle(self._task_path)
+
+    def claim(self, worker_id):
+        """Claim the lowest pending chunk via atomic rename.
+
+        Returns ``(chunk, points, claim_path)`` or None when the queue
+        is empty. Losing a rename race to another worker just moves on
+        to the next pending job.
+        """
+        try:
+            names = sorted(os.listdir(self.queue_dir))
+        except FileNotFoundError:
+            return None
+        for name in names:
+            if name.startswith(".") or not name.endswith(_JOB_SUFFIX):
+                continue
+            claim_path = os.path.join(self.claimed_dir,
+                                      f"{name}{_CLAIM_SEP}{worker_id}")
+            try:
+                os.rename(os.path.join(self.queue_dir, name),
+                          claim_path)
+            except OSError:
+                continue
+            # The rename preserves the job file's *enqueue* mtime; a
+            # chunk that sat queued past the heartbeat timeout would
+            # look instantly stale to the watchdog (whose fallback is
+            # this file's age) — stamp the claim with claim time.
+            try:
+                os.utime(claim_path)
+                job = _load_pickle(claim_path)
+            except OSError:
+                # Lost the claim after all (stolen back before the
+                # load); treat it as a lost race, not a crash.
+                continue
+            return job["chunk"], job["points"], claim_path
+        return None
+
+    def commit(self, chunk, payload, worker_id):
+        """At-most-once result commit; True when this commit landed.
+
+        The first commit per chunk wins, atomically: the payload is
+        written to a temp file and *linked* into place, which fails —
+        instead of overwriting — when a result already exists. A
+        presumed-dead-but-merely-slow worker racing the chunk's
+        re-claimer therefore cannot clobber a committed result, even
+        when its own late attempt ended in an error payload.
+        Filesystems without hard links fall back to check-then-rename
+        (the pre-check plus deterministic payloads keep that safe in
+        practice), and a run directory the broker already tore down
+        reads as a plain late duplicate, not a worker crash.
+        """
+        path = os.path.join(self.results_dir, f"chunk-{chunk:06d}.pkl")
+        if os.path.exists(path):
+            return False
+        tmp = os.path.join(self.results_dir,
+                           f".tmp-{uuid.uuid4().hex[:8]}-{worker_id}")
+        try:
+            with open(tmp, "wb") as fh:
+                pickle.dump(payload, fh,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+        except OSError:
+            # results/ vanished: the broker finished (or failed) and
+            # removed the run while we were evaluating.
+            return False
+        try:
+            os.link(tmp, path)
+        except FileExistsError:
+            return False
+        except OSError:
+            # No hard-link support on this mount (CIFS/FAT): degrade
+            # to check-then-rename at-most-once.
+            if os.path.exists(path):
+                return False
+            try:
+                os.replace(tmp, path)
+            except OSError:
+                return False
+            tmp = None
+            return True
+        finally:
+            if tmp is not None:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+        return True
+
+    def clear_claim(self, claim_path):
+        try:
+            os.unlink(claim_path)
+        except OSError:
+            pass
+
+    def heartbeat(self, worker_id):
+        path = os.path.join(self.hb_dir, worker_id)
+        try:
+            os.utime(path)
+        except OSError:
+            try:
+                with open(path, "w"):
+                    pass
+            except OSError:
+                # hb/ vanished with the run: nothing left to prove
+                # liveness to; the ticker thread must not crash.
+                pass
+
+
+class SpoolWorker:
+    """A worker process serving sweep chunks from a spool directory.
+
+    Backs the ``repro worker`` CLI: attaches to ``spool``, claims
+    chunks from every open run it finds, and exits on the
+    :data:`SHUTDOWN_SENTINEL` or after ``max_idle`` seconds without
+    work. The broker's locally spawned workers reuse :meth:`serve_run`
+    bound to their single run.
+    """
+
+    #: Default seconds between heartbeat touches while a chunk
+    #: evaluates. A background ticker keeps the heartbeat fresh through
+    #: points of any duration, so a broker's ``heartbeat_timeout`` only
+    #: needs to exceed this interval — never the cost of a single
+    #: point. (Broker-spawned workers get an interval derived from the
+    #: broker's own watchdog timeout.)
+    heartbeat_interval = 1.0
+
+    def __init__(self, spool, worker_id=None, poll=0.05, max_idle=None,
+                 heartbeat_interval=None):
+        self.spool = str(spool)
+        require_positive(poll, "poll")
+        if max_idle is not None:
+            require_positive(max_idle, "max_idle")
+        if heartbeat_interval is not None:
+            require_positive(heartbeat_interval, "heartbeat_interval")
+            self.heartbeat_interval = float(heartbeat_interval)
+        worker_id = worker_id or f"w{os.getpid()}-{uuid.uuid4().hex[:6]}"
+        if _CLAIM_SEP in worker_id or os.sep in worker_id:
+            raise ParameterError(
+                f"worker id must not contain {_CLAIM_SEP!r} or a path "
+                f"separator, got {worker_id!r}")
+        self.worker_id = worker_id
+        self.poll = float(poll)
+        self.max_idle = max_idle
+        self.stats = {"chunks": 0, "points": 0, "errors": 0,
+                      "duplicate_commits": 0}
+        self._funcs = {}
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def serve_forever(self):
+        """Serve every open run under the spool; returns the stats."""
+        idle_since = time.monotonic()
+        while not self._shutdown_requested():
+            if self._serve_once():
+                idle_since = time.monotonic()
+                continue
+            self._prune_func_cache()
+            if (self.max_idle is not None
+                    and time.monotonic() - idle_since > self.max_idle):
+                break
+            time.sleep(self.poll)
+        _flush_kernel_store()
+        return self.stats
+
+    def serve_run(self, run):
+        """Serve one run until it is done (the spawned-worker loop)."""
+        while not run.is_done() and run.is_open():
+            if not self.process_one(run):
+                time.sleep(self.poll)
+        _flush_kernel_store()
+        return self.stats
+
+    def _shutdown_requested(self):
+        return os.path.exists(os.path.join(self.spool,
+                                           SHUTDOWN_SENTINEL))
+
+    def _serve_once(self):
+        for run in self._open_runs():
+            if self.process_one(run):
+                return True
+        return False
+
+    def _open_runs(self):
+        try:
+            names = sorted(os.listdir(self.spool))
+        except FileNotFoundError:
+            return
+        for name in names:
+            if not name.startswith(_RUN_PREFIX):
+                continue
+            run = SpoolRun(os.path.join(self.spool, name))
+            if run.is_open() and not run.is_done():
+                yield run
+
+    # -- one chunk -----------------------------------------------------------
+
+    def process_one(self, run):
+        """Claim, evaluate, and commit one chunk; False when none pending.
+
+        A failing point does not kill the worker: the exception ships
+        to the broker as the chunk's result and the worker keeps
+        serving (the broker re-raises and tears the run down).
+        ``KeyboardInterrupt``/``SystemExit`` are *not* absorbed — the
+        worker dies, its claim goes stale, and the chunk retries on a
+        live worker instead of failing the whole run.
+        """
+        claim = run.claim(self.worker_id)
+        if claim is None:
+            return False
+        chunk, points, claim_path = claim
+        run.heartbeat(self.worker_id)
+        ticker = self._start_heartbeat_ticker(run)
+        try:
+            try:
+                func = self._func_for(run)
+                values = [func(**params) for params in points]
+                payload = {"chunk": chunk, "values": values,
+                           "worker": self.worker_id}
+                self.stats["points"] += len(values)
+            except Exception as exc:
+                payload = {"chunk": chunk,
+                           "error": _picklable_error(exc),
+                           "worker": self.worker_id}
+                self.stats["errors"] += 1
+        finally:
+            ticker()
+        if not run.commit(chunk, payload, self.worker_id):
+            self.stats["duplicate_commits"] += 1
+        run.clear_claim(claim_path)
+        self.stats["chunks"] += 1
+        _flush_kernel_store()
+        return True
+
+    def _start_heartbeat_ticker(self, run):
+        """Touch the heartbeat in the background while a chunk runs.
+
+        Liveness must not depend on point duration: a single point
+        slower than the broker's ``heartbeat_timeout`` would otherwise
+        look like a crash and be stolen (and, past ``max_attempts``,
+        fail the run) despite a perfectly healthy worker. Returns a
+        stopper callable.
+        """
+        stop = threading.Event()
+
+        def tick():
+            while not stop.wait(self.heartbeat_interval):
+                run.heartbeat(self.worker_id)
+
+        thread = threading.Thread(target=tick, daemon=True)
+        thread.start()
+
+        def stopper():
+            stop.set()
+            thread.join(timeout=5.0)
+
+        return stopper
+
+    def _func_for(self, run):
+        func = self._funcs.get(run.path)
+        if func is None:
+            func = self._funcs[run.path] = run.load_func()
+        return func
+
+    def _prune_func_cache(self):
+        """Drop cached funcs of runs that closed (long-lived workers).
+
+        A fleet worker serves many runs over its lifetime; each task
+        function (often a partial pinning a device payload) must not
+        stay referenced after its run directory is done or deleted.
+        Runs cheaply on idle iterations only.
+        """
+        stale = [path for path in self._funcs
+                 if not SpoolRun(path).is_open()]
+        for path in stale:
+            del self._funcs[path]
+
+
+def _spawned_worker(run_path, worker_id, poll, heartbeat_interval):
+    """Entry point of a broker-spawned local worker process."""
+    SpoolWorker(os.path.dirname(run_path), worker_id=worker_id,
+                poll=poll,
+                heartbeat_interval=heartbeat_interval).serve_run(
+        SpoolRun(run_path))
+
+
+class DistributedBroker:
+    """Schedules one sweep over spool workers and reassembles results.
+
+    Parameters
+    ----------
+    func:
+        Picklable point function (as for the ``process`` executors).
+    spool:
+        Spool directory; default is :data:`SWEEP_SPOOL_ENV`, else a
+        private temp directory (removed afterwards).
+    jobs:
+        Target worker count; sizes the chunk schedule and the default
+        local spawn count.
+    chunk_size:
+        Fixed chunk size; default is the guided schedule of
+        :func:`schedule_chunks`.
+    heartbeat_timeout:
+        Seconds without a heartbeat before a claimed chunk is stolen
+        back onto the queue.
+    max_attempts:
+        Claim attempts per chunk before the run is declared failed.
+    spawn:
+        Local workers to spawn; default ``jobs``
+        (:data:`SWEEP_SPAWN_ENV` overrides — 0 with externally
+        attached workers).
+    steal:
+        Let the broker evaluate queued chunks inline while it waits;
+        keeps zero-worker runs live and soaks up the tail.
+    timeout:
+        Overall wall-clock bound on the run [s].
+    """
+
+    def __init__(self, func, spool=None, jobs=None, chunk_size=None,
+                 heartbeat_timeout=10.0, poll=0.02, max_attempts=3,
+                 spawn=None, steal=True, timeout=None):
+        if not callable(func):
+            raise ParameterError(f"func must be callable, got {func!r}")
+        if jobs is not None:
+            require_int_in_range(jobs, "jobs", 1, 4096)
+        if chunk_size is not None:
+            require_int_in_range(chunk_size, "chunk_size", 1, 1_000_000)
+        require_positive(heartbeat_timeout, "heartbeat_timeout")
+        require_positive(poll, "poll")
+        require_int_in_range(max_attempts, "max_attempts", 1, 100)
+        if spawn is None:
+            raw = os.environ.get(SWEEP_SPAWN_ENV)
+            if raw not in (None, ""):
+                try:
+                    spawn = int(raw)
+                except ValueError:
+                    raise ParameterError(
+                        f"{SWEEP_SPAWN_ENV} must be an integer, got "
+                        f"{raw!r}") from None
+        if spawn is not None:
+            require_int_in_range(spawn, "spawn", 0, 4096)
+        if timeout is not None:
+            require_positive(timeout, "timeout")
+        self.func = func
+        self.spool = spool if spool is not None else os.environ.get(
+            SWEEP_SPOOL_ENV)
+        self.jobs = jobs
+        self.chunk_size = chunk_size
+        self.heartbeat_timeout = float(heartbeat_timeout)
+        self.poll = float(poll)
+        self.max_attempts = max_attempts
+        self.spawn = spawn
+        self.steal = bool(steal)
+        self.timeout = timeout
+        self.stats = {}
+
+    def _n_workers(self):
+        return self.jobs or os.cpu_count() or 1
+
+    def run(self, points):
+        """Evaluate every point; returns values in point order.
+
+        Raises the first shipped worker exception as-is, and
+        :class:`RuntimeError` on chunk-retry exhaustion or timeout.
+        """
+        points = list(points)
+        if not points:
+            return []
+        owns_spool = self.spool is None
+        spool = self.spool or tempfile.mkdtemp(prefix="repro-sweep-")
+        run = None
+        workers = []
+        failed = True
+        # Setup (pickling the func, enqueueing chunks) sits inside the
+        # same try as the gather so a PicklingError or disk failure
+        # cannot leak the temp spool or leave a claimable half-run.
+        try:
+            run = SpoolRun.create(spool, self.func)
+            bounds = schedule_chunks(len(points), self._n_workers(),
+                                     chunk_size=self.chunk_size)
+            for chunk, (start, stop) in enumerate(bounds):
+                run.enqueue(chunk, points[start:stop])
+            run.open()
+            workers = self._spawn_workers(run)
+            self.stats = {"chunks": len(bounds), "workers_spawned":
+                          len(workers), "requeued": 0, "stolen": 0,
+                          "duplicates": 0, "attempts_max": 1}
+            results = self._gather(run, len(bounds))
+            failed = False
+        finally:
+            if run is not None:
+                run.mark_done()
+            self._reap_workers(workers)
+            # A failed run keeps its directory for post-mortem (unless
+            # the broker owns the whole temp spool).
+            if owns_spool:
+                shutil.rmtree(spool, ignore_errors=True)
+            elif not failed and run is not None:
+                shutil.rmtree(run.path, ignore_errors=True)
+        return [value for chunk in range(len(bounds))
+                for value in results[chunk]["values"]]
+
+    # -- internals -----------------------------------------------------------
+
+    def _spawn_workers(self, run):
+        if self.spawn == 0:
+            return []
+        import multiprocessing
+        count = self.spawn if self.spawn is not None else \
+            self._n_workers()
+        # Spawned workers heartbeat several times per watchdog period
+        # so a slow point can never masquerade as a crash. (External
+        # `repro worker` processes use their own default interval; the
+        # broker's default timeout of 10s comfortably exceeds it.)
+        hb_interval = min(1.0, self.heartbeat_timeout / 4.0)
+        workers = []
+        for i in range(count):
+            proc = multiprocessing.Process(
+                target=_spawned_worker,
+                args=(run.path, f"local-{i}", self.poll, hb_interval),
+                daemon=True)
+            proc.start()
+            workers.append(proc)
+        return workers
+
+    def _reap_workers(self, workers):
+        for proc in workers:
+            proc.join(timeout=5.0)
+        for proc in workers:
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+                proc.join(timeout=5.0)
+
+    def _gather(self, run, n_chunks):
+        results = {}
+        attempts = dict.fromkeys(range(n_chunks), 1)
+        deadline = (time.monotonic() + self.timeout
+                    if self.timeout is not None else None)
+        while len(results) < n_chunks:
+            progressed = self._collect(run, results)
+            if len(results) >= n_chunks:
+                break
+            progressed |= self._requeue_stale(run, results, attempts)
+            if self.steal:
+                progressed |= self._steal_one(run)
+            if not progressed:
+                if deadline is not None and time.monotonic() > deadline:
+                    raise RuntimeError(
+                        f"distributed sweep timed out after "
+                        f"{self.timeout:g}s with {len(results)}/"
+                        f"{n_chunks} chunks collected")
+                time.sleep(self.poll)
+        return results
+
+    def _collect(self, run, results):
+        progressed = False
+        for chunk, payload in run.collect(skip=results.keys()):
+            if chunk in results:  # pragma: no cover - skip covers this
+                continue
+            error = payload.get("error")
+            if error is not None:
+                raise error
+            results[chunk] = payload
+            progressed = True
+        return progressed
+
+    def _requeue_stale(self, run, results, attempts):
+        """Steal chunks back from workers whose heartbeat went stale."""
+        progressed = False
+        for chunk, wid, claim_path in run.claimed_jobs():
+            if chunk in results:
+                # Late claim of an already-collected chunk (a duplicate
+                # in flight): drop it rather than re-running it.
+                run.clear_claim(claim_path)
+                self.stats["duplicates"] += 1
+                continue
+            age = run.heartbeat_age(wid, claim_path)
+            if age <= self.heartbeat_timeout:
+                continue
+            if attempts[chunk] >= self.max_attempts:
+                raise RuntimeError(
+                    f"chunk {chunk} failed {attempts[chunk]} claim "
+                    f"attempt(s) (last worker {wid} went silent for "
+                    f"{age:.1f}s); giving up")
+            if run.requeue(claim_path) is None:
+                continue
+            attempts[chunk] += 1
+            self.stats["requeued"] += 1
+            self.stats["attempts_max"] = max(
+                self.stats["attempts_max"], attempts[chunk])
+            progressed = True
+        return progressed
+
+    def _steal_one(self, run):
+        """Evaluate one queued chunk inline while waiting on workers."""
+        claim = run.claim("broker")
+        if claim is None:
+            return False
+        chunk, points, claim_path = claim
+        values = [self.func(**params) for params in points]
+        if not run.commit(chunk, {"chunk": chunk, "values": values,
+                                  "worker": "broker"}, "broker"):
+            self.stats["duplicates"] += 1
+        run.clear_claim(claim_path)
+        self.stats["stolen"] += 1
+        return True
+
+
+def run_distributed(func, points, **kwargs):
+    """One-call convenience: broker + run; returns ``(values, stats)``."""
+    broker = DistributedBroker(func, **kwargs)
+    values = broker.run(points)
+    return values, broker.stats
+
+
+def run_worker(spool=None, worker_id=None, poll=0.05, max_idle=None):
+    """Serve a spool until shutdown/idle; returns a CLI exit code.
+
+    The one implementation behind both ``repro worker`` and ``python
+    -m repro.sweep.distributed``, so the flag semantics cannot drift
+    between the two entry points.
+    """
+    spool = spool or os.environ.get(SWEEP_SPOOL_ENV)
+    if not spool:
+        print(f"no spool directory: pass --spool or set "
+              f"{SWEEP_SPOOL_ENV}")
+        return 1
+    worker = SpoolWorker(spool, worker_id=worker_id, poll=poll,
+                         max_idle=max_idle)
+    stats = worker.serve_forever()
+    print(f"worker {worker.worker_id}: served {stats['chunks']} "
+          f"chunk(s) / {stats['points']} point(s), "
+          f"{stats['errors']} error(s)")
+    return 0
+
+
+def add_worker_arguments(parser):
+    """Attach the worker flag set (shared by every worker CLI)."""
+    parser.add_argument("--spool", default=None,
+                        help=f"spool directory (default: "
+                             f"${SWEEP_SPOOL_ENV})")
+    parser.add_argument("--id", default=None,
+                        help="worker id (default: pid-derived)")
+    parser.add_argument("--poll", type=float, default=0.05,
+                        help="queue poll interval in seconds")
+    parser.add_argument("--max-idle", type=float, default=None,
+                        help="exit after this many seconds without "
+                             "work")
+    return parser
+
+
+def worker_main(argv=None):
+    """CLI entry point of ``python -m repro.sweep.distributed``."""
+    import argparse
+    parser = argparse.ArgumentParser(
+        prog="repro worker",
+        description="serve distributed sweep chunks from a spool "
+                    "directory")
+    add_worker_arguments(parser)
+    args = parser.parse_args(argv)
+    return run_worker(spool=args.spool, worker_id=args.id,
+                      poll=args.poll, max_idle=args.max_idle)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(worker_main())

@@ -21,7 +21,14 @@ Executors:
   picklable (module-level functions / ``functools.partial`` of them),
 * ``"chunked"`` — the process pool again, but points are submitted in
   contiguous chunks to amortize pickling and per-task overhead; right
-  for many cheap points.
+  for many cheap points,
+* ``"distributed"`` — a broker + worker transport over a spool-
+  directory job queue (:mod:`repro.sweep.distributed`): chunks are
+  scheduled with guided work stealing, workers may be spawned locally
+  or attached from other hosts (``repro worker --spool DIR``), stale
+  claims are retried, and results reassemble in spec order — right for
+  the dense pitch grids and chip-scale presets whose wall-clock
+  exceeds one machine.
 
 Worker processes each warm their own
 :class:`~repro.arrays.kernel_store.KernelStore`, so chunking also
@@ -43,10 +50,16 @@ from .result import SweepResult
 from .spec import SweepSpec
 
 #: The executor registry (name -> SweepRunner method suffix).
-EXECUTORS = ("serial", "thread", "process", "chunked")
+EXECUTORS = ("serial", "thread", "process", "chunked", "distributed")
 
 #: Environment override of the parallel executor picked by ``--jobs``.
 SWEEP_EXECUTOR_ENV = "REPRO_SWEEP_EXECUTOR"
+
+#: Grids at or below this many points count as "small" for
+#: :func:`executor_for_jobs`: process-pool spawn cost dominates them,
+#: so the implicit parallel pick prefers the thread executor (the
+#: field-bound hot paths release the GIL inside numpy/scipy).
+SMALL_SWEEP_POINTS = 32
 
 
 def _flush_kernel_store():
@@ -95,12 +108,18 @@ class SweepRunner:
         Worker-process count for the pool executors; None lets
         ``ProcessPoolExecutor`` pick (``os.cpu_count()``).
     chunk_size:
-        Points per task for ``"chunked"``; default splits the sweep
-        into ~4 chunks per worker.
+        Points per task for ``"chunked"`` (default: ~4 chunks per
+        worker) and ``"distributed"`` (default: the guided
+        work-stealing schedule of
+        :func:`repro.sweep.distributed.schedule_chunks`).
+    spool:
+        Spool directory for ``"distributed"``; default is the
+        ``REPRO_SWEEP_SPOOL`` environment variable, else a private
+        temp directory. Ignored by every other executor.
     """
 
     def __init__(self, func, executor="serial", jobs=None,
-                 chunk_size=None):
+                 chunk_size=None, spool=None):
         if not callable(func):
             raise ParameterError(f"func must be callable, got {func!r}")
         if executor not in EXECUTORS:
@@ -114,6 +133,7 @@ class SweepRunner:
         self.executor = executor
         self.jobs = jobs
         self.chunk_size = chunk_size
+        self.spool = spool
 
     def run(self, spec):
         """Evaluate every point of ``spec``; returns a SweepResult."""
@@ -121,14 +141,18 @@ class SweepRunner:
             raise ParameterError(
                 f"spec must be a SweepSpec, got {type(spec)!r}")
         start = time.perf_counter()
+        extras = {}
         if self.executor == "serial":
             values = [self.func(**params) for params in spec]
         elif self.executor == "thread":
             values = self._run_threads(spec.points())
         elif self.executor == "process":
             values = self._run_pool(spec.points())
-        else:
+        elif self.executor == "chunked":
             values = self._run_chunked(spec.points())
+        else:
+            values, extras["distributed"] = self._run_distributed(
+                spec.points())
         elapsed = time.perf_counter() - start
         # Persist kernels this process computed during the sweep (pool
         # workers flush themselves at pool shutdown); no-op unless the
@@ -137,7 +161,8 @@ class SweepRunner:
         _flush_kernel_store()
         return SweepResult(spec=spec, values=values,
                            executor=self.executor,
-                           jobs=self._effective_jobs(), elapsed=elapsed)
+                           jobs=self._effective_jobs(), elapsed=elapsed,
+                           extras=extras)
 
     def _effective_jobs(self):
         if self.executor == "serial":
@@ -174,11 +199,18 @@ class SweepRunner:
                               chunks)
         return [value for part in nested for value in part]
 
+    def _run_distributed(self, points):
+        from .distributed import run_distributed
+        return run_distributed(self.func, points, spool=self.spool,
+                               jobs=self._effective_jobs(),
+                               chunk_size=self.chunk_size)
 
-def run_sweep(func, spec, executor="serial", jobs=None, chunk_size=None):
+
+def run_sweep(func, spec, executor="serial", jobs=None, chunk_size=None,
+              spool=None):
     """One-call convenience: build a runner and run ``spec``."""
     return SweepRunner(func, executor=executor, jobs=jobs,
-                       chunk_size=chunk_size).run(spec)
+                       chunk_size=chunk_size, spool=spool).run(spec)
 
 
 def add_sweep_arguments(parser):
@@ -194,18 +226,27 @@ def add_sweep_arguments(parser):
     parser.add_argument("--executor", choices=EXECUTORS, default=None,
                         help="sweep executor (thread shares one "
                              "process and its kernel store; "
-                             "process/chunked fork workers)")
+                             "process/chunked fork workers; "
+                             "distributed ships chunks over a spool-"
+                             "directory job queue — see `repro "
+                             "worker`)")
     return parser
 
 
-def executor_for_jobs(jobs, default="serial", parallel=None):
+def executor_for_jobs(jobs, default="serial", parallel=None,
+                      n_points=None):
     """Map a CLI-style ``--jobs`` value onto an executor name.
 
     ``None`` or 1 mean the serial baseline; anything larger selects the
     parallel executor — ``parallel`` if given, else the
-    :data:`SWEEP_EXECUTOR_ENV` environment variable, else
-    ``"process"``. Used by the CLI subcommands and sweep consumers so
-    ``--jobs`` alone toggles parallelism (and ``--executor thread`` or
+    :data:`SWEEP_EXECUTOR_ENV` environment variable, else a size
+    heuristic: grids of at most :data:`SMALL_SWEEP_POINTS` points (when
+    the caller passes ``n_points``) run on the thread executor, because
+    process-pool spawn cost dominates tiny field-bound sweeps and
+    threads share the warm process-wide kernel store; anything larger
+    (or of unknown size) gets ``"process"``. Used by the CLI
+    subcommands and sweep consumers so ``--jobs`` alone toggles
+    parallelism (and ``--executor thread`` or
     ``REPRO_SWEEP_EXECUTOR=thread`` retargets it without touching the
     call sites).
     """
@@ -214,8 +255,13 @@ def executor_for_jobs(jobs, default="serial", parallel=None):
         # misspelled environment override must not break them.
         return default
     require_int_in_range(jobs, "jobs", 1, 4096)
+    if n_points is not None:
+        require_int_in_range(n_points, "n_points", 0, 10**9)
     if parallel is None:
-        parallel = os.environ.get(SWEEP_EXECUTOR_ENV) or "process"
+        parallel = os.environ.get(SWEEP_EXECUTOR_ENV) or None
+    if parallel is None:
+        parallel = ("thread" if n_points is not None
+                    and n_points <= SMALL_SWEEP_POINTS else "process")
     if parallel not in EXECUTORS:
         raise ParameterError(
             f"parallel executor must be one of {EXECUTORS}, got "

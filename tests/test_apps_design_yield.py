@@ -137,3 +137,39 @@ class TestRetentionBudget:
         assert classify_retention(SECONDS_PER_YEAR / 2.0) == "embedded"
         assert classify_retention(10.0) == "cache"
         assert classify_retention(1e-6) == "unusable"
+
+    def test_sampled_failures_match_closed_form(self):
+        """The binomial per-period draw reproduces the closed-form
+        array failure probability 1 - (1 - p_flip)^n_bits."""
+        import math
+        device = MTJDevice(PAPER_EVAL_DEVICE)
+        planner = RetentionBudgetPlanner(device, pitch=70e-9,
+                                         n_bits=4096)
+        hot = celsius_to_kelvin(125.0)
+        interval = planner.scrub_interval(hot, 0.05)
+        p_flip = planner.flip_probability(hot, interval)
+        closed = -math.expm1(planner.n_bits * math.log1p(-p_flip))
+        n_periods = 20_000
+        sampled = planner.sampled_failure_probability(
+            hot, interval, n_periods=n_periods, rng=2)
+        se = math.sqrt(closed * (1.0 - closed) / n_periods)
+        assert abs(sampled - closed) < 6.0 * se + 1e-12
+
+    def test_sample_flips_vectorized_and_seeded(self):
+        device = MTJDevice(PAPER_EVAL_DEVICE)
+        planner = RetentionBudgetPlanner(device, pitch=70e-9,
+                                         n_bits=64)
+        hot = celsius_to_kelvin(125.0)
+        a = planner.sample_flips(hot, 1.0, n_periods=100, rng=5)
+        b = planner.sample_flips(hot, 1.0, n_periods=100, rng=5)
+        assert a.shape == (100,)
+        assert (a == b).all()
+        assert (a >= 0).all() and (a <= 64).all()
+
+    def test_sample_flips_rejects_bad_arguments(self):
+        device = MTJDevice(PAPER_EVAL_DEVICE)
+        planner = RetentionBudgetPlanner(device, pitch=70e-9, n_bits=8)
+        with pytest.raises(ParameterError):
+            planner.sample_flips(300.0, -1.0)
+        with pytest.raises(ParameterError):
+            planner.sample_flips(300.0, 1.0, n_periods=0)

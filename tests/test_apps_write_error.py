@@ -88,6 +88,55 @@ class TestPulseSizing:
         assert 1e-9 < pulse < 200e-9
 
 
+class TestSampledWer:
+    def test_binomial_matches_closed_form(self, wer_model, hz_intra):
+        """The class-grouped count draw sits within MC error of the
+        closed form (it draws Binomial(n, wer))."""
+        closed = wer_model.wer(10e-9, vp=0.9, hz_stray=hz_intra)
+        sampled = wer_model.sample_wer(10e-9, 0.9, hz_intra,
+                                       n_samples=100_000, rng=1)
+        se = math.sqrt(closed * (1.0 - closed) / 100_000)
+        assert abs(sampled - closed) < 6.0 * se + 1e-12
+
+    def test_angles_reference_matches_closed_form(self, wer_model,
+                                                  hz_intra):
+        """The per-sample angle path remains the distributional
+        cross-check: initial-angle draws reproduce the closed form."""
+        closed = wer_model.wer(10e-9, vp=0.9, hz_stray=hz_intra)
+        sampled = wer_model.sample_wer(10e-9, 0.9, hz_intra,
+                                       n_samples=100_000, rng=1,
+                                       method="angles")
+        se = math.sqrt(closed * (1.0 - closed) / 100_000)
+        assert abs(sampled - closed) < 6.0 * se + 1e-12
+
+    def test_methods_statistically_equivalent_at_rare_target(
+            self, wer_model, hz_intra):
+        """At a production-like rare-event corner the binomial draw is
+        usable (the angle path would need ~1e8 draws to see a count)."""
+        pulse = wer_model.pulse_for_wer(1e-4, vp=0.95,
+                                        hz_stray=hz_intra)
+        n = 2_000_000
+        sampled = wer_model.sample_wer(pulse, 0.95, hz_intra,
+                                       n_samples=n, rng=7)
+        assert abs(sampled - 1e-4) < 6.0 * math.sqrt(1e-4 / n)
+
+    def test_below_threshold_is_certain_failure(self, wer_model,
+                                                hz_intra):
+        assert wer_model.sample_wer(10e-9, 0.1, hz_intra,
+                                    n_samples=100, rng=0) == 1.0
+
+    def test_seeded_draws_are_deterministic(self, wer_model, hz_intra):
+        draws = [wer_model.sample_wer(10e-9, 0.9, hz_intra,
+                                      n_samples=10_000, rng=3)
+                 for _ in range(2)]
+        assert draws[0] == draws[1]
+
+    def test_rejects_unknown_method(self, wer_model, hz_intra):
+        with pytest.raises(ParameterError):
+            wer_model.sample_wer(10e-9, 0.9, hz_intra,
+                                 method="bogus")
+
+
 class TestWorstCase:
     def test_worst_case_longer_than_best(self, wer_model, eval_device):
         pitch = 1.5 * eval_device.params.ecd

@@ -135,6 +135,33 @@ class TestCommands:
             build_parser().parse_args(
                 ["design", "--executor", "fibers"])
 
+    def test_memsys_distributed_executor_matches_serial(self, capsys):
+        argv = ["memsys", "--seed", "4", "--rows", "16", "--cols",
+                "16", "--transactions", "500"]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2", "--executor",
+                            "distributed"]) == 0
+        assert capsys.readouterr().out == serial
+
+
+class TestWorkerCommand:
+    def test_requires_spool(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_SWEEP_SPOOL", raising=False)
+        assert main(["worker", "--max-idle", "1"]) == 1
+        assert "no spool directory" in capsys.readouterr().out
+
+    def test_exits_on_shutdown_sentinel(self, tmp_path, capsys):
+        from repro.sweep import SHUTDOWN_SENTINEL
+        spool = tmp_path / "spool"
+        spool.mkdir()
+        (spool / SHUTDOWN_SENTINEL).touch()
+        assert main(["worker", "--spool", str(spool), "--id", "w-cli",
+                     "--poll", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "worker w-cli" in out
+        assert "served 0 chunk(s)" in out
+
 
 class TestCacheCommand:
     def test_requires_directory(self, capsys, monkeypatch):

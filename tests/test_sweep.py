@@ -129,6 +129,28 @@ class TestSweepRunner:
         with pytest.raises(ParameterError):
             executor_for_jobs(0)
 
+    def test_executor_for_jobs_small_grid_prefers_thread(self):
+        from repro.sweep import SMALL_SWEEP_POINTS
+        # Tiny field-bound grids: process spawn cost dominates, so the
+        # implicit parallel pick is the thread executor.
+        assert executor_for_jobs(4, n_points=SMALL_SWEEP_POINTS) == \
+            "thread"
+        assert executor_for_jobs(
+            4, n_points=SMALL_SWEEP_POINTS + 1) == "process"
+        # An explicit choice (or env override) beats the heuristic.
+        assert executor_for_jobs(4, parallel="process",
+                                 n_points=4) == "process"
+        # Serial stays serial regardless of size.
+        assert executor_for_jobs(1, n_points=4) == "serial"
+        with pytest.raises(ParameterError):
+            executor_for_jobs(4, n_points=-1)
+
+    def test_executor_for_jobs_env_beats_size_heuristic(self,
+                                                        monkeypatch):
+        from repro.sweep import SWEEP_EXECUTOR_ENV
+        monkeypatch.setenv(SWEEP_EXECUTOR_ENV, "chunked")
+        assert executor_for_jobs(4, n_points=4) == "chunked"
+
     def test_executor_for_jobs_thread_parallel(self):
         assert executor_for_jobs(4, parallel="thread") == "thread"
         assert executor_for_jobs(1, parallel="thread") == "serial"
@@ -157,8 +179,8 @@ class TestSweepRunner:
 
 @pytest.mark.integration
 class TestSeededSweepDeterminism:
-    """Acceptance: serial == thread == process == chunked for every
-    seeded consumer sweep."""
+    """Acceptance: serial == thread == process == chunked ==
+    distributed for every seeded consumer sweep."""
 
     def test_memsys_uber_sweep_all_executors_equal(self):
         from repro.device import MTJDevice, PAPER_EVAL_DEVICE
@@ -167,22 +189,21 @@ class TestSeededSweepDeterminism:
         kwargs = dict(pitch_ratios=(3.0, 1.5), patterns=("solid0",),
                       rows=16, cols=16, seed=3)
         serial = uber_sweep(device, **kwargs)
-        threaded = uber_sweep(device, executor="thread", jobs=2,
-                              **kwargs)
-        parallel = uber_sweep(device, jobs=2, **kwargs)
-        chunked = uber_sweep(device, executor="chunked", jobs=2,
-                             **kwargs)
-        assert (serial.rows == threaded.rows == parallel.rows
-                == chunked.rows)
-        assert (serial.extras["uber"] == threaded.extras["uber"]
-                == parallel.extras["uber"] == chunked.extras["uber"])
+        for executor in ("thread", "process", "chunked",
+                         "distributed"):
+            result = uber_sweep(device, executor=executor, jobs=2,
+                                **kwargs)
+            assert result.rows == serial.rows, executor
+            assert result.extras["uber"] == serial.extras["uber"], \
+                executor
 
     def test_design_space_all_executors_equal(self):
         from repro.apps import DesignSpaceExplorer
         from repro.device import PAPER_EVAL_DEVICE
         explorer = DesignSpaceExplorer(PAPER_EVAL_DEVICE)
         serial = explorer.sweep([30e-9, 35e-9], [2.0, 3.0])
-        for executor in ("thread", "process", "chunked"):
+        for executor in ("thread", "process", "chunked",
+                         "distributed"):
             result = explorer.sweep([30e-9, 35e-9], [2.0, 3.0], jobs=2,
                                     executor=executor)
             # DesignPoint is a frozen dataclass: == is exact equality.
