@@ -65,6 +65,7 @@ def _record_scaling(t_serial, t_distributed, speedup, n_points):
             payload = json.load(fh)
     except (OSError, ValueError):
         payload = {"bench": "memsys_engine", "trajectory": []}
+    cpus = _usable_cpus()
     payload["sweep_scaling"] = {
         "executor": "distributed",
         "workers": WORKERS,
@@ -73,8 +74,18 @@ def _record_scaling(t_serial, t_distributed, speedup, n_points):
         "distributed_s": round(t_distributed, 4),
         "speedup": round(speedup, 2),
         "floor": SPEEDUP_FLOOR,
-        "cpus": _usable_cpus(),
+        "cpus": cpus,
+        # A speedup measured while the workers time-slice one core
+        # says nothing about scaling — flag it so readers (and future
+        # re-records on multi-core runners) don't compare apples to
+        # time-sliced oranges.
+        "single_core": cpus < 2,
     }
+    if cpus < 2:
+        payload["sweep_scaling"]["note"] = (
+            f"measured on {cpus} CPU(s): {WORKERS} workers "
+            "time-sliced a single core, so the speedup is not a "
+            "scaling datum; re-record on a >=2-core runner")
     payload.setdefault("trajectory", []).append(
         {"bench": "sweep", "executor": "distributed",
          "workers": WORKERS, "n_points": n_points,

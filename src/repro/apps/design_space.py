@@ -117,13 +117,17 @@ class DesignSpaceExplorer:
             worst_delta=float(worst_delta),
         )
 
-    def sweep(self, ecds, pitch_ratios, jobs=None, executor=None):
+    def sweep(self, ecds, pitch_ratios, jobs=None, executor=None,
+              progress=None):
         """Evaluate the cartesian grid of ``ecds`` x ``pitch_ratios``.
 
         Runs on the :mod:`repro.sweep` engine; ``jobs`` > 1 (or an
         explicit ``executor``) fans the grid out over a process pool.
-        Returns the DesignPoints in row-major (eCD-major) order, the
-        same for every executor.
+        ``progress`` (a ``progress(done, total)`` callable) reports
+        completed points and may raise
+        :class:`~repro.errors.RunAborted` to cancel the sweep. Returns
+        the DesignPoints in row-major (eCD-major) order, the same for
+        every executor.
         """
         spec = SweepSpec.product(
             ecd=[float(e) for e in ecds],
@@ -132,7 +136,8 @@ class DesignSpaceExplorer:
                                                  n_points=len(spec))
         func = partial(_design_point, self.base_params,
                        self.probe_voltage)
-        runner = SweepRunner(func, executor=executor, jobs=jobs)
+        runner = SweepRunner(func, executor=executor, jobs=jobs,
+                             progress=progress)
         return list(runner.run(spec).values)
 
     def pareto_front(self, points, min_worst_delta=0.0,

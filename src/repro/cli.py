@@ -8,6 +8,8 @@ Subcommands::
     python -m repro.cli wer --vp 0.95 [...]        write-error pulse sizing
     python -m repro.cli memsys --pitch-nm 70 [...] system-level UBER
     python -m repro.cli worker --spool DIR         distributed-sweep worker
+    python -m repro.cli serve --socket PATH        reliability-query service
+    python -m repro.cli query uber --socket PATH   ask a running service
     python -m repro.cli cache info|clear|warm      on-disk kernel cache
     python -m repro.cli model-card --out DIR       compact-model export
 
@@ -222,7 +224,8 @@ def _cmd_memsys(args):
 def _cmd_worker(args):
     from .sweep.distributed import run_worker
     return run_worker(spool=args.spool, worker_id=args.id,
-                      poll=args.poll, max_idle=args.max_idle)
+                      poll=args.poll, max_idle=args.max_idle,
+                      timeout=args.timeout)
 
 
 def _cmd_cache(args):
@@ -303,6 +306,48 @@ def _cmd_cache(args):
               f"{post.get('error', 'no kernels persisted')}")
         return 1
     return 0
+
+
+def _cmd_serve(args):
+    from .service.server import serve_main
+    if args.socket is None and args.port is None:
+        print("pass --socket PATH or --port N to pick a listen "
+              "address")
+        return 2
+    return serve_main(path=args.socket, host=args.host,
+                      port=args.port, capacity=args.cache_size)
+
+
+def _cmd_query(args):
+    import json
+
+    from .errors import ServiceError
+    from .service.client import ServiceClient
+
+    try:
+        params = json.loads(args.params) if args.params else {}
+    except json.JSONDecodeError as exc:
+        print(f"--params is not valid JSON: {exc}")
+        return 2
+    if not isinstance(params, dict):
+        print("--params must be a JSON object")
+        return 2
+
+    def on_progress(event):
+        print(f"progress {event.get('done')}/{event.get('total')}",
+              file=sys.stderr, flush=True)
+
+    try:
+        with ServiceClient(path=args.socket, host=args.host,
+                           port=args.port,
+                           timeout=args.timeout) as client:
+            event = client.request({"op": args.op, **params},
+                                   on_progress=on_progress)
+    except ServiceError as exc:
+        print(f"query failed: {exc}")
+        return 1
+    print(json.dumps(event, indent=2, sort_keys=True))
+    return 0 if event.get("ok") else 1
 
 
 def _cmd_model_card(args):
@@ -421,6 +466,38 @@ def build_parser():
     p.add_argument("--order", type=int, default=2,
                    help="extended-neighborhood half-width for `warm`")
     p.set_defaults(func=_cmd_cache)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the long-lived reliability-query service")
+    p.add_argument("--socket", default=None,
+                   help="unix-socket path to listen on")
+    p.add_argument("--host", default=None,
+                   help="TCP listen host (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=None,
+                   help="TCP listen port (0 picks a free one)")
+    p.add_argument("--cache-size", type=int, default=256,
+                   help="in-memory memo-cache entries (disk tier "
+                        "follows $REPRO_KERNEL_CACHE)")
+    p.set_defaults(func=_cmd_serve)
+
+    from .service.protocol import QUERY_TYPES
+    p = sub.add_parser(
+        "query", help="ask a running reliability service one question")
+    p.add_argument("op", choices=sorted(QUERY_TYPES),
+                   help="query type")
+    p.add_argument("--socket", default=None,
+                   help="unix-socket path of the service")
+    p.add_argument("--host", default=None,
+                   help="TCP host of the service")
+    p.add_argument("--port", type=int, default=None,
+                   help="TCP port of the service")
+    p.add_argument("--params", default=None,
+                   help="JSON object of query parameters, e.g. "
+                        "'{\"pitch_nm\": 60, \"ecc\": \"none\"}'")
+    p.add_argument("--timeout", type=float, default=60.0,
+                   help="socket read timeout in seconds")
+    p.set_defaults(func=_cmd_query)
 
     p = sub.add_parser("model-card", help="export a compact model")
     p.add_argument("--out", default="model_card")

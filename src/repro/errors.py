@@ -27,5 +27,19 @@ class SimulationError(ReproError, RuntimeError):
     """A simulation failed (non-finite state, no switching event found)."""
 
 
+class RunAborted(ReproError, RuntimeError):
+    """A long-running evaluation was cancelled by its caller.
+
+    Raised *by progress callbacks* to stop an engine run or sweep at the
+    next batch/point boundary — the cancellation mechanism behind the
+    :mod:`repro.service` server's abandoned-query handling.
+    """
+
+
 class MeasurementError(ReproError, RuntimeError):
     """An emulated measurement could not extract the requested quantity."""
+
+
+class ServiceError(ReproError, RuntimeError):
+    """The reliability service answered a query with an error event,
+    or the connection to it failed."""

@@ -200,7 +200,8 @@ class ReliabilityEngine:
 
     # -- Monte-Carlo mode ---------------------------------------------------
 
-    def run(self, n_transactions, rng=None, batch_size=8192):
+    def run(self, n_transactions, rng=None, batch_size=8192,
+            progress=None):
         """Simulate ``n_transactions`` and return a :class:`MemsysResult`.
 
         Batches are split into *occurrence-rank rounds* — in round ``r``
@@ -216,19 +217,29 @@ class ReliabilityEngine:
         counts over bit-packed state. Both are deterministic under a
         seeded ``rng`` and statistically equivalent; their draw
         streams (and therefore individual seeded counters) differ.
+
+        ``progress``, when given, is called after every batch as
+        ``progress(transactions_done, n_transactions)``. It is also the
+        cancellation point: raising
+        :class:`~repro.errors.RunAborted` (or anything else) from the
+        callback stops the run at that batch boundary — which is how
+        the :mod:`repro.service` server streams progress and aborts
+        abandoned queries. The callback never changes the draw stream,
+        so a run with ``progress`` is bit-identical to one without.
         """
         require_positive(n_transactions, "n_transactions")
         require_positive(batch_size, "batch_size")
         rng = np.random.default_rng(rng)
         if self.sampler == "binomial":
             return self._run_binomial(int(n_transactions), rng,
-                                      int(batch_size))
+                                      int(batch_size), progress)
         return self._run_bernoulli(int(n_transactions), rng,
-                                   int(batch_size))
+                                   int(batch_size), progress)
 
     # -- bernoulli reference path -------------------------------------------
 
-    def _run_bernoulli(self, n_transactions, rng, batch_size):
+    def _run_bernoulli(self, n_transactions, rng, batch_size,
+                       progress=None):
         """One uniform per cell per mechanism over dense int8 state."""
         ctl = self.controller
         words = ctl.words
@@ -273,6 +284,8 @@ class ReliabilityEngine:
                     actual, nd, ng, data_positions, rng, result)
 
             result.n_transactions += n
+            if progress is not None:
+                progress(result.n_transactions, n_transactions)
 
         result.simulated_time = now
         return result
@@ -373,7 +386,8 @@ class ReliabilityEngine:
     # rates the maps differ only at the handful of freshly flipped
     # cells.
 
-    def _run_binomial(self, n_transactions, rng, batch_size):
+    def _run_binomial(self, n_transactions, rng, batch_size,
+                      progress=None):
         """Class-grouped binomial draws over bit-packed planes."""
         ctl = self.controller
         words = ctl.words
@@ -421,6 +435,8 @@ class ReliabilityEngine:
                     data_positions, rng, result)
 
             result.n_transactions += n
+            if progress is not None:
+                progress(result.n_transactions, n_transactions)
 
         result.simulated_time = now
         return result

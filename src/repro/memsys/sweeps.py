@@ -66,7 +66,7 @@ def _rates_point(device, rows, cols, seed, engine_kwargs, pattern, ecc,
 def uber_sweep(device, pitch_ratios=DEFAULT_PITCH_RATIOS,
                patterns=DEFAULT_PATTERNS, eccs=("none", "secded"),
                rows=64, cols=64, seed=0, jobs=None, executor=None,
-               **engine_kwargs):
+               progress=None, **engine_kwargs):
     """Expected UBER over pitch x pattern x ECC.
 
     Returns an :class:`~repro.experiments.base.ExperimentResult` whose
@@ -78,7 +78,10 @@ def uber_sweep(device, pitch_ratios=DEFAULT_PITCH_RATIOS,
     ``jobs`` > 1 (or an explicit ``executor`` from
     :data:`repro.sweep.EXECUTORS`) distributes the grid over a process
     pool; results are identical to the serial run for the same ``seed``.
-    ``engine_kwargs`` pass through to
+    ``progress`` (a ``progress(done, total)`` callable) is forwarded to
+    the :class:`~repro.sweep.runner.SweepRunner` — raise
+    :class:`~repro.errors.RunAborted` from it to cancel at the next
+    point boundary. ``engine_kwargs`` pass through to
     :func:`repro.memsys.engine.build_engine` (vp, nominal_wer, ...).
     """
     pitch_ratios = [float(r)
@@ -97,8 +100,8 @@ def uber_sweep(device, pitch_ratios=DEFAULT_PITCH_RATIOS,
     func = partial(_rates_point, device, rows, cols, seed,
                    engine_kwargs)
     executor = executor or executor_for_jobs(jobs, n_points=len(spec))
-    sweep_result = SweepRunner(func, executor=executor, jobs=jobs).run(
-        spec)
+    sweep_result = SweepRunner(func, executor=executor, jobs=jobs,
+                               progress=progress).run(spec)
 
     rows_out = []
     series = {}

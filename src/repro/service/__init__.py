@@ -1,0 +1,41 @@
+"""Long-running reliability-query service.
+
+The compute spine (kernel store + binomial fast path + sweep
+executors) answers chip-scale UBER questions in interactive time, but
+a CLI invocation still pays full process lifetime per question. This
+package turns the library into a daemon: :class:`ReliabilityServer`
+(``repro serve``) accepts newline-delimited-JSON queries over a
+unix/TCP socket, coalesces concurrent identical queries into one
+engine run, memoizes completed results keyed by the same
+``stack_fingerprint`` scheme the kernel store uses, streams progress
+events for long sweeps, and drains gracefully on SIGTERM.
+:class:`ServiceClient` (``repro query``) is the matching blocking
+client.
+
+Layering::
+
+    protocol      query dataclasses, NDJSON framing, fingerprints
+    results_cache bounded LRU + optional REPRO_KERNEL_CACHE disk tier
+    runners       query -> blocking library call (cancellable)
+    coalesce      shared in-flight runs, subscriber fan-out
+    server        asyncio socket server, stats, SIGTERM drain
+    client        synchronous NDJSON client
+"""
+
+from .client import ServiceClient
+from .coalesce import Coalescer
+from .protocol import (PROTOCOL_VERSION, QUERY_TYPES, parse_request,
+                       query_fingerprint)
+from .results_cache import ResultsCache
+from .server import ReliabilityServer
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "QUERY_TYPES",
+    "Coalescer",
+    "ReliabilityServer",
+    "ResultsCache",
+    "ServiceClient",
+    "parse_request",
+    "query_fingerprint",
+]

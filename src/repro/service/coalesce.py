@@ -1,0 +1,133 @@
+"""Request coalescing: concurrent identical queries share one run.
+
+The server keys every in-flight evaluation by its query fingerprint.
+The first subscriber starts the actual engine run (a blocking library
+call dispatched to a worker thread); later subscribers with the same
+fingerprint *join* that run instead of starting their own — N
+concurrent identical queries cost exactly one evaluation. Progress
+events fan out to every joined subscriber.
+
+Cancellation is reference-counted: a subscriber abandoning a shared
+run (client disconnect, task cancellation) never cancels the run
+itself — only when the *last* subscriber leaves does the coalescer set
+the run's abort flag, which the library call observes at its next
+progress boundary (raising :class:`~repro.errors.RunAborted`). The
+``await`` side is wrapped in :func:`asyncio.shield` so a subscriber's
+``CancelledError`` cannot propagate into the shared future.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+
+class SharedRun:
+    """One in-flight evaluation plus its subscriber bookkeeping."""
+
+    __slots__ = ("key", "loop", "abort", "done", "listeners",
+                 "subscribers", "task", "_next_token")
+
+    def __init__(self, key, loop):
+        self.key = key
+        self.loop = loop
+        #: Checked by the blocking call's progress callback; set when
+        #: the last subscriber walks away.
+        self.abort = threading.Event()
+        self.done = loop.create_future()
+        # Swallow the exception when every subscriber has left — an
+        # aborted run's RunAborted has nobody left to deliver to, and
+        # must not surface as an "exception never retrieved" warning.
+        self.done.add_done_callback(
+            lambda f: f.exception() if not f.cancelled() else None)
+        self.listeners = {}
+        self.subscribers = 0
+        self.task = None
+        self._next_token = 0
+
+    def add_listener(self, callback):
+        token = self._next_token
+        self._next_token += 1
+        self.listeners[token] = callback
+        return token
+
+    def remove_listener(self, token):
+        self.listeners.pop(token, None)
+
+    def publish(self, done, total):
+        """Report progress; safe to call from the worker thread."""
+        self.loop.call_soon_threadsafe(self._emit, done, total)
+
+    def _emit(self, done, total):
+        for callback in list(self.listeners.values()):
+            callback(done, total)
+
+
+class Coalescer:
+    """Maps query fingerprints to shared in-flight runs.
+
+    Single-event-loop object: every public method must be called from
+    the loop that owns it (the server guarantees this); only the
+    ``publish`` hop crosses threads.
+    """
+
+    def __init__(self):
+        self._runs = {}
+        #: Evaluations actually started — the service's engine-call
+        #: counter: N coalesced queries increment this exactly once.
+        self.started = 0
+        #: Subscribers that piggybacked on an already-running query.
+        self.joined = 0
+        #: Runs aborted because every subscriber abandoned them.
+        self.aborted = 0
+
+    def in_flight(self):
+        """Number of distinct evaluations currently running."""
+        return len(self._runs)
+
+    def is_running(self, key):
+        """Whether ``key`` has an in-flight evaluation to join."""
+        return key in self._runs
+
+    async def run(self, key, thunk, on_progress=None):
+        """Await the (possibly shared) evaluation of ``key``.
+
+        ``thunk(abort_event, publish)`` is the blocking library call;
+        it runs at most once per key at a time, in a worker thread.
+        ``on_progress(done, total)`` (optional) receives this
+        subscriber's copy of every progress event, on the event loop.
+        """
+        loop = asyncio.get_running_loop()
+        run = self._runs.get(key)
+        if run is None:
+            run = SharedRun(key, loop)
+            self._runs[key] = run
+            self.started += 1
+            run.task = loop.create_task(self._drive(run, thunk))
+        else:
+            self.joined += 1
+        run.subscribers += 1
+        token = (run.add_listener(on_progress)
+                 if on_progress is not None else None)
+        try:
+            return await asyncio.shield(run.done)
+        finally:
+            if token is not None:
+                run.remove_listener(token)
+            run.subscribers -= 1
+            if run.subscribers == 0 and not run.done.done():
+                self.aborted += 1
+                run.abort.set()
+
+    async def _drive(self, run, thunk):
+        try:
+            payload = await asyncio.to_thread(thunk, run.abort,
+                                              run.publish)
+        except BaseException as exc:  # delivered to subscribers
+            if not run.done.done():
+                run.done.set_exception(exc)
+        else:
+            if not run.done.done():
+                run.done.set_result(payload)
+        finally:
+            self._runs.pop(run.key, None)

@@ -1,0 +1,305 @@
+"""Wire protocol of the reliability service.
+
+One request per line, one JSON object per line (NDJSON) in both
+directions. A request is ``{"op": <name>, "id": <client tag>,
+...params}``; the server answers with zero or more ``progress`` events
+followed by exactly one terminal ``result`` or ``error`` event, each
+echoing the request ``id`` so clients may pipeline.
+
+Requests normalize into frozen dataclasses (the "request objects in"
+half of the service contract): every field is validated and coerced to
+plain Python scalars at parse time, so two textually different JSON
+spellings of the same physical question — ``70`` vs ``70.0``, keys in
+any order — collapse onto one :func:`query_fingerprint`. The
+fingerprint reuses the kernel store's ``stack_fingerprint`` for the
+device geometry and the disk cache's ``key_digest`` for hashing, which
+is what lets the service's memo cache share a directory tree (and an
+invalidation story: new physics => new fingerprint => new key, never a
+stale hit) with ``REPRO_KERNEL_CACHE``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+
+from ..arrays.kernel_disk import key_digest
+from ..arrays.kernel_store import stack_fingerprint
+from ..device import MTJDevice, PAPER_EVAL_DEVICE
+from ..errors import ParameterError
+from ..units import nm_to_m
+from ..validation import require_int_in_range, require_positive
+
+#: Version prefix of every fingerprint; bump on any semantic change to
+#: a query's evaluation so memoized results from older servers miss.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one NDJSON frame — a malformed client cannot balloon
+#: the server's line buffer.
+MAX_LINE_BYTES = 1 << 20
+
+
+def encode_line(obj):
+    """Serialize one protocol object to a newline-terminated frame."""
+    return (json.dumps(obj, separators=(",", ":"), sort_keys=True)
+            + "\n").encode("utf-8")
+
+
+def decode_line(line):
+    """Parse one frame; raises :class:`ParameterError` on bad JSON."""
+    if isinstance(line, (bytes, bytearray)):
+        line = line.decode("utf-8", errors="replace")
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ParameterError(f"request is not valid JSON: {exc}") from None
+    if not isinstance(obj, dict):
+        raise ParameterError(
+            f"request must be a JSON object, got {type(obj).__name__}")
+    return obj
+
+
+def _tuple_of_floats(value, name):
+    try:
+        items = tuple(float(v) for v in value)
+    except (TypeError, ValueError):
+        raise ParameterError(
+            f"{name} must be a sequence of numbers, got {value!r}") from None
+    if not items:
+        raise ParameterError(f"{name} must not be empty")
+    return items
+
+
+def _tuple_of_strs(value, name):
+    if isinstance(value, str):
+        value = (value,)
+    try:
+        items = tuple(str(v) for v in value)
+    except TypeError:
+        raise ParameterError(
+            f"{name} must be a sequence of strings, got {value!r}") from None
+    if not items:
+        raise ParameterError(f"{name} must not be empty")
+    return items
+
+
+@dataclass(frozen=True)
+class UberQuery:
+    """System-level UBER of one operating point.
+
+    ``mode="expected"`` evaluates the engine's noise-free expectation
+    (deterministic, cheap); ``mode="sampled"`` runs the Monte-Carlo
+    traffic loop over ``transactions`` transactions.
+    """
+
+    op = "uber"
+
+    pitch_nm: float = 70.0
+    rows: int = 64
+    cols: int = 64
+    ecc: str = "secded"
+    pattern: str = "random"
+    vp: float = 0.95
+    nominal_wer: float = 2e-3
+    sampler: str = "bernoulli"
+    mode: str = "expected"
+    transactions: int = 50_000
+    seed: int = 0
+    ecd_nm: float | None = None
+
+    def __post_init__(self):
+        require_positive(self.pitch_nm, "pitch_nm")
+        require_int_in_range(self.rows, "rows", 1, 1 << 16)
+        require_int_in_range(self.cols, "cols", 1, 1 << 16)
+        require_positive(self.vp, "vp")
+        require_positive(self.nominal_wer, "nominal_wer")
+        if self.mode not in ("expected", "sampled"):
+            raise ParameterError(
+                f"mode must be 'expected' or 'sampled', got "
+                f"{self.mode!r}")
+        require_int_in_range(self.transactions, "transactions", 1,
+                             10**9)
+        if self.ecd_nm is not None:
+            require_positive(self.ecd_nm, "ecd_nm")
+
+
+@dataclass(frozen=True)
+class WerQuery:
+    """Worst-case write-error pulse sizing + sampled WER check."""
+
+    op = "wer"
+
+    target_wer: float = 1e-6
+    vp: float = 0.95
+    pitch_ratio: float = 2.0
+    n_samples: int = 200_000
+    seed: int = 0
+    ecd_nm: float | None = None
+
+    def __post_init__(self):
+        require_positive(self.target_wer, "target_wer")
+        require_positive(self.vp, "vp")
+        require_positive(self.pitch_ratio, "pitch_ratio")
+        require_int_in_range(self.n_samples, "n_samples", 1, 10**9)
+        if self.ecd_nm is not None:
+            require_positive(self.ecd_nm, "ecd_nm")
+
+
+@dataclass(frozen=True)
+class SweepQuery:
+    """Expected-UBER sweep over pitch x pattern x ECC (streams
+    progress)."""
+
+    op = "sweep"
+
+    pitch_ratios: tuple = (3.0, 2.5, 2.0, 1.75, 1.5)
+    patterns: tuple = ("random", "checkerboard", "solid0")
+    eccs: tuple = ("none", "secded")
+    rows: int = 64
+    cols: int = 64
+    vp: float = 0.95
+    nominal_wer: float = 2e-3
+    seed: int = 0
+    executor: str | None = None
+    jobs: int | None = None
+    ecd_nm: float | None = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "pitch_ratios",
+                           _tuple_of_floats(self.pitch_ratios,
+                                            "pitch_ratios"))
+        object.__setattr__(self, "patterns",
+                           _tuple_of_strs(self.patterns, "patterns"))
+        object.__setattr__(self, "eccs",
+                           _tuple_of_strs(self.eccs, "eccs"))
+        require_int_in_range(self.rows, "rows", 1, 1 << 16)
+        require_int_in_range(self.cols, "cols", 1, 1 << 16)
+        require_positive(self.vp, "vp")
+        require_positive(self.nominal_wer, "nominal_wer")
+        if self.jobs is not None:
+            require_int_in_range(self.jobs, "jobs", 1, 4096)
+        if self.ecd_nm is not None:
+            require_positive(self.ecd_nm, "ecd_nm")
+
+    @property
+    def n_points(self):
+        return (len(self.pitch_ratios) * len(self.patterns)
+                * len(self.eccs))
+
+
+@dataclass(frozen=True)
+class DesignQuery:
+    """Design-space table over eCD x pitch ratio (streams progress)."""
+
+    op = "design"
+
+    ecds_nm: tuple = (25.0, 35.0, 45.0)
+    pitch_ratios: tuple = (1.5, 2.0, 3.0)
+    probe_voltage: float = 0.85
+    executor: str | None = None
+    jobs: int | None = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "ecds_nm",
+                           _tuple_of_floats(self.ecds_nm, "ecds_nm"))
+        object.__setattr__(self, "pitch_ratios",
+                           _tuple_of_floats(self.pitch_ratios,
+                                            "pitch_ratios"))
+        require_positive(self.probe_voltage, "probe_voltage")
+        if self.jobs is not None:
+            require_int_in_range(self.jobs, "jobs", 1, 4096)
+
+    @property
+    def n_points(self):
+        return len(self.ecds_nm) * len(self.pitch_ratios)
+
+
+@dataclass(frozen=True)
+class StatsQuery:
+    """Ops-surface snapshot: request counts, latencies, cache, gauge."""
+
+    op = "stats"
+
+
+#: Registry mapping wire ``op`` names to request dataclasses.
+QUERY_TYPES = {
+    "uber": UberQuery,
+    "wer": WerQuery,
+    "sweep": SweepQuery,
+    "design": DesignQuery,
+    "stats": StatsQuery,
+}
+
+#: Request keys that frame the protocol rather than parameterize the
+#: query; stripped before dataclass construction.
+_ENVELOPE_KEYS = ("op", "id")
+
+
+def parse_request(obj):
+    """Normalize one decoded request dict into its query dataclass.
+
+    Raises :class:`ParameterError` for an unknown ``op``, unknown
+    parameter names, or out-of-domain values — the server maps these to
+    ``error`` events without touching any engine.
+    """
+    op = obj.get("op")
+    if op not in QUERY_TYPES:
+        known = ", ".join(sorted(QUERY_TYPES))
+        raise ParameterError(f"unknown op {op!r} (known: {known})")
+    cls = QUERY_TYPES[op]
+    fields = {f.name for f in dataclasses.fields(cls)}
+    params = {k: v for k, v in obj.items() if k not in _ENVELOPE_KEYS}
+    unknown = sorted(set(params) - fields)
+    if unknown:
+        raise ParameterError(
+            f"unknown parameter(s) for op {op!r}: {', '.join(unknown)}")
+    try:
+        return cls(**params)
+    except TypeError as exc:
+        raise ParameterError(f"bad parameters for op {op!r}: "
+                             f"{exc}") from None
+
+
+def device_for(query):
+    """The :class:`MTJDevice` a query evaluates against.
+
+    The paper-quoted evaluation device, optionally re-targeted to the
+    query's ``ecd_nm`` — the same convention the CLI and the
+    design-space explorer use.
+    """
+    params = PAPER_EVAL_DEVICE
+    ecd_nm = getattr(query, "ecd_nm", None)
+    if ecd_nm is not None:
+        params = params.with_ecd(nm_to_m(ecd_nm))
+    return MTJDevice(params)
+
+
+def query_fingerprint(query):
+    """Stable 32-hex-digit memo key of one normalized query.
+
+    Keyed by ``(PROTOCOL_VERSION, op, stack_fingerprint(device.stack),
+    sorted params)`` and digested with the kernel-disk hash — the same
+    scheme (and therefore the same cross-process determinism argument)
+    as the on-disk kernel cache. Queries that reach the physics through
+    a device (uber/wer/sweep) fold the *stack* fingerprint in, so a
+    service upgrade that changes the reference stack re-keys every
+    memoized result instead of serving stale physics.
+    """
+    parts = []
+    for field in sorted(dataclasses.fields(query),
+                        key=lambda f: f.name):
+        value = getattr(query, field.name)
+        # JSON spells 70 and 70.0 interchangeably; canonicalize every
+        # scalar number to float so both spellings key identically.
+        if isinstance(value, (int, float)) and not isinstance(value,
+                                                              bool):
+            value = float(value)
+        parts.append((field.name, value))
+    if query.op in ("uber", "wer", "sweep"):
+        stack_key = stack_fingerprint(device_for(query).stack)
+    else:
+        stack_key = None
+    hi, lo = key_digest((PROTOCOL_VERSION, query.op, stack_key,
+                         tuple(parts)))
+    return f"{hi:016x}{lo:016x}"

@@ -1,0 +1,178 @@
+"""Memoized query results: bounded in-memory LRU + optional disk tier.
+
+The memory tier is an :class:`collections.OrderedDict` LRU bounded by
+``capacity`` entries; the disk tier is one JSON file per fingerprint
+under ``<REPRO_KERNEL_CACHE>/service-results/`` — the same opt-in
+environment variable (and the same "new physics keys new entries,
+never invalidates old ones" story) as the kernel cache it lives next
+to. Both tiers are keyed by :func:`~repro.service.protocol
+.query_fingerprint`, so a warm directory survives server restarts and
+is shared by every server pointed at it.
+
+Thread-safe: the server touches the cache from ``asyncio.to_thread``
+workers as well as the event loop. Disk corruption is never fatal — a
+file that fails to parse is treated as a miss and deleted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections import OrderedDict
+
+from ..arrays.kernel_disk import KERNEL_CACHE_ENV
+from ..errors import ParameterError
+from ..validation import require_int_in_range
+
+#: Subdirectory of ``REPRO_KERNEL_CACHE`` holding service results.
+RESULTS_SUBDIR = "service-results"
+
+_FINGERPRINT_LEN = 32
+
+
+class ResultsCache:
+    """Two-tier (memory LRU + optional disk) memo cache.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum in-memory entries; least-recently-used beyond that are
+        evicted (they remain on disk when a disk tier is attached).
+    directory:
+        Disk-tier directory. ``None`` (default) derives
+        ``$REPRO_KERNEL_CACHE/service-results`` when the environment
+        variable is set, else runs memory-only. Pass an explicit path
+        to force a tier, or ``directory=False`` to disable the disk
+        tier regardless of the environment.
+    """
+
+    def __init__(self, capacity=256, directory=None):
+        require_int_in_range(capacity, "capacity", 1, 1 << 20)
+        self.capacity = capacity
+        if directory is None:
+            root = os.environ.get(KERNEL_CACHE_ENV)
+            directory = (os.path.join(root, RESULTS_SUBDIR)
+                         if root else False)
+        self.directory = None if directory is False else str(directory)
+        self._lock = threading.Lock()
+        self._memory = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._disk_hits = 0
+        self._disk_write_failures = 0
+
+    # -- key plumbing --------------------------------------------------
+
+    @staticmethod
+    def _check_key(key):
+        if (not isinstance(key, str) or len(key) != _FINGERPRINT_LEN
+                or any(c not in "0123456789abcdef" for c in key)):
+            raise ParameterError(
+                f"cache key must be a {_FINGERPRINT_LEN}-hex-digit "
+                f"fingerprint, got {key!r}")
+        return key
+
+    def _path(self, key):
+        return os.path.join(self.directory, f"{key}.json")
+
+    # -- tiers ---------------------------------------------------------
+
+    def _disk_get(self, key):
+        if self.directory is None:
+            return None
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            # Corrupt or unreadable entry: drop it and treat as a miss.
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+        if not isinstance(payload, dict):
+            return None
+        return payload
+
+    def _disk_put(self, key, payload):
+        if self.directory is None:
+            return
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            tmp = self._path(key) + f".tmp.{os.getpid()}"
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, separators=(",", ":"),
+                          sort_keys=True)
+            os.replace(tmp, self._path(key))
+        except (OSError, TypeError, ValueError):
+            # Persistence is best-effort; the memory tier still serves.
+            self._disk_write_failures += 1
+
+    # -- public API ----------------------------------------------------
+
+    def get(self, key):
+        """The memoized payload for ``key``, or ``None`` on a miss.
+
+        Disk hits are promoted into the memory LRU.
+        """
+        self._check_key(key)
+        with self._lock:
+            if key in self._memory:
+                self._memory.move_to_end(key)
+                self._hits += 1
+                return self._memory[key]
+            payload = self._disk_get(key)
+            if payload is not None:
+                self._disk_hits += 1
+                self._hits += 1
+                self._store(key, payload)
+                return payload
+            self._misses += 1
+            return None
+
+    def put(self, key, payload):
+        """Memoize ``payload`` (a JSON-safe dict) under ``key``."""
+        self._check_key(key)
+        if not isinstance(payload, dict):
+            raise ParameterError(
+                f"payload must be a dict, got {type(payload).__name__}")
+        with self._lock:
+            self._store(key, payload)
+            self._disk_put(key, payload)
+
+    def _store(self, key, payload):
+        self._memory[key] = payload
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.capacity:
+            self._memory.popitem(last=False)
+
+    def clear(self):
+        """Drop the memory tier (the disk tier is left untouched)."""
+        with self._lock:
+            self._memory.clear()
+
+    def stats(self):
+        """Counters for the ``/stats`` ops surface."""
+        with self._lock:
+            disk_entries = None
+            if self.directory is not None:
+                try:
+                    disk_entries = sum(
+                        1 for name in os.listdir(self.directory)
+                        if name.endswith(".json"))
+                except OSError:
+                    disk_entries = 0
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "disk_hits": self._disk_hits,
+                "disk_write_failures": self._disk_write_failures,
+                "memory_entries": len(self._memory),
+                "capacity": self.capacity,
+                "disk_directory": self.directory,
+                "disk_entries": disk_entries,
+            }

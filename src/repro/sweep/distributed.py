@@ -392,8 +392,15 @@ class SpoolWorker:
     #: broker's own watchdog timeout.)
     heartbeat_interval = 1.0
 
+    #: Upper bound of the idle-poll backoff in :meth:`serve_forever`.
+    #: Idle polls start at ``poll`` and double per empty scan up to
+    #: this cap (any served chunk resets them), so a worker parked
+    #: against a wedged or idle broker costs a couple of directory
+    #: scans per second at most instead of ``1/poll``.
+    max_poll = 2.0
+
     def __init__(self, spool, worker_id=None, poll=0.05, max_idle=None,
-                 heartbeat_interval=None):
+                 heartbeat_interval=None, timeout=None, max_poll=None):
         self.spool = str(spool)
         require_positive(poll, "poll")
         if max_idle is not None:
@@ -401,6 +408,11 @@ class SpoolWorker:
         if heartbeat_interval is not None:
             require_positive(heartbeat_interval, "heartbeat_interval")
             self.heartbeat_interval = float(heartbeat_interval)
+        if timeout is not None:
+            require_positive(timeout, "timeout")
+        if max_poll is not None:
+            require_positive(max_poll, "max_poll")
+            self.max_poll = float(max_poll)
         worker_id = worker_id or f"w{os.getpid()}-{uuid.uuid4().hex[:6]}"
         if _CLAIM_SEP in worker_id or os.sep in worker_id:
             raise ParameterError(
@@ -409,6 +421,7 @@ class SpoolWorker:
         self.worker_id = worker_id
         self.poll = float(poll)
         self.max_idle = max_idle
+        self.timeout = timeout
         self.stats = {"chunks": 0, "points": 0, "errors": 0,
                       "duplicate_commits": 0}
         self._funcs = {}
@@ -416,19 +429,50 @@ class SpoolWorker:
     # -- lifecycle -----------------------------------------------------------
 
     def serve_forever(self):
-        """Serve every open run under the spool; returns the stats."""
-        idle_since = time.monotonic()
+        """Serve every open run under the spool; returns the stats.
+
+        Exits on the :data:`SHUTDOWN_SENTINEL`, after ``max_idle``
+        seconds without work, or after ``timeout`` seconds of total
+        wall clock (mid-chunk evaluation is never interrupted — the
+        bound is checked between chunks). Idle polling retries with
+        exponential backoff, ``poll`` doubling up to :attr:`max_poll`
+        per empty scan and resetting on work, so a wedged broker —
+        a run left OPEN by a crashed submitter, say — cannot pin a
+        fleet of workers at full poll rate forever; pair the backoff
+        with ``timeout`` (the ``repro worker --timeout`` flag) to
+        guarantee the fleet eventually drains instead of hanging.
+        """
+        started = time.monotonic()
+        idle_since = started
+        delay = self.poll
         while not self._shutdown_requested():
+            if (self.timeout is not None
+                    and time.monotonic() - started > self.timeout):
+                break
             if self._serve_once():
                 idle_since = time.monotonic()
+                delay = self.poll
                 continue
             self._prune_func_cache()
             if (self.max_idle is not None
                     and time.monotonic() - idle_since > self.max_idle):
                 break
-            time.sleep(self.poll)
+            sleep = delay
+            if self.timeout is not None:
+                # Never let one backoff sleep overshoot the deadline.
+                remaining = started + self.timeout - time.monotonic()
+                if remaining <= 0:
+                    break
+                sleep = min(sleep, remaining)
+            time.sleep(sleep)
+            delay = self._next_idle_delay(delay)
         _flush_kernel_store()
         return self.stats
+
+    def _next_idle_delay(self, delay):
+        """One backoff step: double the idle poll, capped at
+        :attr:`max_poll` (never below the configured base ``poll``)."""
+        return min(max(delay * 2.0, self.poll), self.max_poll)
 
     def serve_run(self, run):
         """Serve one run until it is done (the spawned-worker loop)."""
@@ -581,13 +625,22 @@ class DistributedBroker:
         keeps zero-worker runs live and soaks up the tail.
     timeout:
         Overall wall-clock bound on the run [s].
+    progress:
+        Optional ``progress(points_done, points_total)`` callback,
+        invoked from the gather loop whenever a chunk's results are
+        collected (the :class:`~repro.sweep.runner.SweepRunner`
+        progress contract, which is how the :mod:`repro.service`
+        server streams sweep progress off the spool backend).
     """
 
     def __init__(self, func, spool=None, jobs=None, chunk_size=None,
                  heartbeat_timeout=10.0, poll=0.02, max_attempts=3,
-                 spawn=None, steal=True, timeout=None):
+                 spawn=None, steal=True, timeout=None, progress=None):
         if not callable(func):
             raise ParameterError(f"func must be callable, got {func!r}")
+        if progress is not None and not callable(progress):
+            raise ParameterError(
+                f"progress must be callable, got {progress!r}")
         if jobs is not None:
             require_int_in_range(jobs, "jobs", 1, 4096)
         if chunk_size is not None:
@@ -619,6 +672,7 @@ class DistributedBroker:
         self.spawn = spawn
         self.steal = bool(steal)
         self.timeout = timeout
+        self.progress = progress
         self.stats = {}
 
     def _n_workers(self):
@@ -652,7 +706,7 @@ class DistributedBroker:
             self.stats = {"chunks": len(bounds), "workers_spawned":
                           len(workers), "requeued": 0, "stolen": 0,
                           "duplicates": 0, "attempts_max": 1}
-            results = self._gather(run, len(bounds))
+            results = self._gather(run, len(bounds), len(points))
             failed = False
         finally:
             if run is not None:
@@ -698,13 +752,13 @@ class DistributedBroker:
                 proc.terminate()
                 proc.join(timeout=5.0)
 
-    def _gather(self, run, n_chunks):
+    def _gather(self, run, n_chunks, n_points):
         results = {}
         attempts = dict.fromkeys(range(n_chunks), 1)
         deadline = (time.monotonic() + self.timeout
                     if self.timeout is not None else None)
         while len(results) < n_chunks:
-            progressed = self._collect(run, results)
+            progressed = self._collect(run, results, n_points)
             if len(results) >= n_chunks:
                 break
             progressed |= self._requeue_stale(run, results, attempts)
@@ -719,7 +773,7 @@ class DistributedBroker:
                 time.sleep(self.poll)
         return results
 
-    def _collect(self, run, results):
+    def _collect(self, run, results, n_points):
         progressed = False
         for chunk, payload in run.collect(skip=results.keys()):
             if chunk in results:  # pragma: no cover - skip covers this
@@ -729,6 +783,9 @@ class DistributedBroker:
                 raise error
             results[chunk] = payload
             progressed = True
+            if self.progress is not None:
+                done = sum(len(p["values"]) for p in results.values())
+                self.progress(done, n_points)
         return progressed
 
     def _requeue_stale(self, run, results, attempts):
@@ -780,8 +837,9 @@ def run_distributed(func, points, **kwargs):
     return values, broker.stats
 
 
-def run_worker(spool=None, worker_id=None, poll=0.05, max_idle=None):
-    """Serve a spool until shutdown/idle; returns a CLI exit code.
+def run_worker(spool=None, worker_id=None, poll=0.05, max_idle=None,
+               timeout=None):
+    """Serve a spool until shutdown/idle/timeout; returns a CLI exit code.
 
     The one implementation behind both ``repro worker`` and ``python
     -m repro.sweep.distributed``, so the flag semantics cannot drift
@@ -793,7 +851,7 @@ def run_worker(spool=None, worker_id=None, poll=0.05, max_idle=None):
               f"{SWEEP_SPOOL_ENV}")
         return 1
     worker = SpoolWorker(spool, worker_id=worker_id, poll=poll,
-                         max_idle=max_idle)
+                         max_idle=max_idle, timeout=timeout)
     stats = worker.serve_forever()
     print(f"worker {worker.worker_id}: served {stats['chunks']} "
           f"chunk(s) / {stats['points']} point(s), "
@@ -809,10 +867,16 @@ def add_worker_arguments(parser):
     parser.add_argument("--id", default=None,
                         help="worker id (default: pid-derived)")
     parser.add_argument("--poll", type=float, default=0.05,
-                        help="queue poll interval in seconds")
+                        help="queue poll interval in seconds (idle "
+                             "polls back off exponentially from here "
+                             "to ~2s)")
     parser.add_argument("--max-idle", type=float, default=None,
                         help="exit after this many seconds without "
                              "work")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="exit after this many seconds of total "
+                             "wall clock, busy or not — a wedged "
+                             "broker cannot hang the worker forever")
     return parser
 
 
@@ -826,7 +890,8 @@ def worker_main(argv=None):
     add_worker_arguments(parser)
     args = parser.parse_args(argv)
     return run_worker(spool=args.spool, worker_id=args.id,
-                      poll=args.poll, max_idle=args.max_idle)
+                      poll=args.poll, max_idle=args.max_idle,
+                      timeout=args.timeout)
 
 
 if __name__ == "__main__":  # pragma: no cover

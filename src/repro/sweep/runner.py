@@ -42,7 +42,11 @@ from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+)
 
 from ..errors import ParameterError
 from ..validation import jobs_argument, require_int_in_range
@@ -116,10 +120,20 @@ class SweepRunner:
         Spool directory for ``"distributed"``; default is the
         ``REPRO_SWEEP_SPOOL`` environment variable, else a private
         temp directory. Ignored by every other executor.
+    progress:
+        Optional callback invoked as ``progress(done, total)`` (in
+        points) whenever completed work lands: after every point
+        (serial/thread/process), after every chunk (chunked), or after
+        every collected chunk (distributed). It is also the
+        cancellation point on the serial executor — raising
+        :class:`~repro.errors.RunAborted` from the callback stops the
+        sweep at the next point boundary. The callback never reorders
+        or changes values, so a seeded sweep with ``progress`` is
+        byte-identical to one without.
     """
 
     def __init__(self, func, executor="serial", jobs=None,
-                 chunk_size=None, spool=None):
+                 chunk_size=None, spool=None, progress=None):
         if not callable(func):
             raise ParameterError(f"func must be callable, got {func!r}")
         if executor not in EXECUTORS:
@@ -129,11 +143,15 @@ class SweepRunner:
             require_int_in_range(jobs, "jobs", 1, 4096)
         if chunk_size is not None:
             require_int_in_range(chunk_size, "chunk_size", 1, 1_000_000)
+        if progress is not None and not callable(progress):
+            raise ParameterError(
+                f"progress must be callable, got {progress!r}")
         self.func = func
         self.executor = executor
         self.jobs = jobs
         self.chunk_size = chunk_size
         self.spool = spool
+        self.progress = progress
 
     def run(self, spec):
         """Evaluate every point of ``spec``; returns a SweepResult."""
@@ -143,7 +161,7 @@ class SweepRunner:
         start = time.perf_counter()
         extras = {}
         if self.executor == "serial":
-            values = [self.func(**params) for params in spec]
+            values = self._run_serial(spec)
         elif self.executor == "thread":
             values = self._run_threads(spec.points())
         elif self.executor == "process":
@@ -174,17 +192,57 @@ class SweepRunner:
             return min(32, (os.cpu_count() or 1) + 4)
         return os.cpu_count() or 1
 
+    def _report(self, done, total):
+        if self.progress is not None:
+            self.progress(done, total)
+
+    def _run_serial(self, spec):
+        values = []
+        total = len(spec)
+        for params in spec:
+            values.append(self.func(**params))
+            self._report(len(values), total)
+        return values
+
+    def _gather_ordered(self, pool, task, items, weights):
+        """Submit ``task(func, item)`` per item; values in item order.
+
+        The submit/as_completed shape (instead of ``pool.map``) exists
+        for the progress callback: completions report as they land, in
+        any order, while the returned values stay in submission order —
+        so parallel runs remain byte-identical to serial ones.
+        ``weights[i]`` is how many points item ``i`` carries (1 for
+        point tasks, the chunk length for chunk tasks).
+        """
+        futures = {pool.submit(task, self.func, item): i
+                   for i, item in enumerate(items)}
+        values = [None] * len(items)
+        total = sum(weights)
+        done = 0
+        for future in as_completed(futures):
+            i = futures[future]
+            values[i] = future.result()
+            done += weights[i]
+            self._report(done, total)
+        return values
+
     def _run_threads(self, points):
         with ThreadPoolExecutor(max_workers=self.jobs) as pool:
-            return list(pool.map(
-                _apply_point, [self.func] * len(points), points))
+            if self.progress is None:
+                return list(pool.map(
+                    _apply_point, [self.func] * len(points), points))
+            return self._gather_ordered(pool, _apply_point, points,
+                                        [1] * len(points))
 
     def _run_pool(self, points):
         with ProcessPoolExecutor(
                 max_workers=self.jobs,
                 initializer=_worker_initializer) as pool:
-            return list(pool.map(
-                _apply_point, [self.func] * len(points), points))
+            if self.progress is None:
+                return list(pool.map(
+                    _apply_point, [self.func] * len(points), points))
+            return self._gather_ordered(pool, _apply_point, points,
+                                        [1] * len(points))
 
     def _run_chunked(self, points):
         n_workers = self._effective_jobs()
@@ -195,22 +253,30 @@ class SweepRunner:
         with ProcessPoolExecutor(
                 max_workers=self.jobs,
                 initializer=_worker_initializer) as pool:
-            nested = pool.map(_apply_chunk, [self.func] * len(chunks),
-                              chunks)
+            if self.progress is None:
+                nested = list(pool.map(_apply_chunk,
+                                       [self.func] * len(chunks),
+                                       chunks))
+            else:
+                nested = self._gather_ordered(
+                    pool, _apply_chunk, chunks,
+                    [len(c) for c in chunks])
         return [value for part in nested for value in part]
 
     def _run_distributed(self, points):
         from .distributed import run_distributed
         return run_distributed(self.func, points, spool=self.spool,
                                jobs=self._effective_jobs(),
-                               chunk_size=self.chunk_size)
+                               chunk_size=self.chunk_size,
+                               progress=self.progress)
 
 
 def run_sweep(func, spec, executor="serial", jobs=None, chunk_size=None,
-              spool=None):
+              spool=None, progress=None):
     """One-call convenience: build a runner and run ``spec``."""
     return SweepRunner(func, executor=executor, jobs=jobs,
-                       chunk_size=chunk_size, spool=spool).run(spec)
+                       chunk_size=chunk_size, spool=spool,
+                       progress=progress).run(spec)
 
 
 def add_sweep_arguments(parser):
@@ -237,28 +303,37 @@ def executor_for_jobs(jobs, default="serial", parallel=None,
                       n_points=None):
     """Map a CLI-style ``--jobs`` value onto an executor name.
 
-    ``None`` or 1 mean the serial baseline; anything larger selects the
-    parallel executor — ``parallel`` if given, else the
-    :data:`SWEEP_EXECUTOR_ENV` environment variable, else a size
-    heuristic: grids of at most :data:`SMALL_SWEEP_POINTS` points (when
-    the caller passes ``n_points``) run on the thread executor, because
-    process-pool spawn cost dominates tiny field-bound sweeps and
-    threads share the warm process-wide kernel store; anything larger
-    (or of unknown size) gets ``"process"``. Used by the CLI
-    subcommands and sweep consumers so ``--jobs`` alone toggles
-    parallelism (and ``--executor thread`` or
-    ``REPRO_SWEEP_EXECUTOR=thread`` retargets it without touching the
-    call sites).
+    Precedence (documented in the README): an explicit ``--executor``
+    flag never reaches this function (call sites short-circuit on it);
+    the ``parallel`` argument, when a caller pins one; then the
+    :data:`SWEEP_EXECUTOR_ENV` environment variable — which wins at
+    *every* ``jobs`` value, including an explicit ``--jobs 1`` or no
+    ``--jobs`` at all (it used to be consulted only for ``jobs > 1``,
+    so a configured fleet executor silently lost to the serial
+    default); then the ``--jobs`` size heuristic: ``None``/1 mean the
+    serial baseline, and anything larger picks the thread executor for
+    grids of at most :data:`SMALL_SWEEP_POINTS` points (process-pool
+    spawn cost dominates tiny field-bound sweeps, and threads share
+    the warm process-wide kernel store) or ``"process"`` for larger /
+    unknown-size grids.
+
+    One asymmetry, on purpose: for serial-sized runs (``jobs`` of
+    ``None``/1, which never needed the variable before) a *misspelled*
+    environment value is ignored rather than raised, so a stale
+    override cannot break a plain serial invocation; with ``jobs > 1``
+    an invalid value still raises, as it always has.
     """
-    if jobs is None or jobs == 1:
-        # Serial runs never consult the parallel choice, so a stale or
-        # misspelled environment override must not break them.
-        return default
-    require_int_in_range(jobs, "jobs", 1, 4096)
+    if jobs is not None:
+        require_int_in_range(jobs, "jobs", 1, 4096)
     if n_points is not None:
         require_int_in_range(n_points, "n_points", 0, 10**9)
+    env = os.environ.get(SWEEP_EXECUTOR_ENV) or None
+    if jobs is None or jobs == 1:
+        if parallel is None and env in EXECUTORS:
+            return env
+        return default
     if parallel is None:
-        parallel = os.environ.get(SWEEP_EXECUTOR_ENV) or None
+        parallel = env
     if parallel is None:
         parallel = ("thread" if n_points is not None
                     and n_points <= SMALL_SWEEP_POINTS else "process")

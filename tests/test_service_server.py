@@ -1,0 +1,289 @@
+"""End-to-end server tests: the acceptance criteria of the service.
+
+Each test spins a real :class:`ReliabilityServer` on a unix socket
+inside ``asyncio.run`` and talks to it with the blocking
+:class:`ServiceClient` from worker threads — the exact production
+topology, minus process boundaries (the CLI smoke test at the bottom
+adds those).
+"""
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.errors import ParameterError, ServiceError
+from repro.service import ReliabilityServer, ServiceClient
+from repro.service.runners import RUNNERS
+
+#: Cheap deterministic operating point reused across tests (16x16 is
+#: the smallest array holding a 72-bit SEC-DED codeword comfortably).
+SMALL = {"rows": 16, "cols": 16, "pitch_nm": 70.0}
+
+
+def _serve(test_body, **server_kwargs):
+    """Run ``test_body(server)`` in a thread against a live server."""
+    server_kwargs.setdefault("capacity", 16)
+
+    async def main():
+        server = ReliabilityServer(**server_kwargs)
+        await server.start()
+        serve_task = asyncio.create_task(
+            server.serve_forever(install_signals=False))
+        try:
+            await asyncio.to_thread(test_body, server)
+        finally:
+            server.request_stop()
+            await asyncio.wait_for(serve_task, timeout=30.0)
+
+    asyncio.run(main())
+
+
+class TestRoundTrip:
+    def test_uber_query_round_trips(self, tmp_path):
+        path = str(tmp_path / "svc.sock")
+
+        def body(server):
+            with ServiceClient(path=path) as client:
+                event = client.query("uber", **SMALL)
+            assert event["ok"] and not event["cached"]
+            assert 0.0 <= event["result"]["uber"] <= 1.0
+            assert event["result"]["mode"] == "expected"
+            assert len(event["fingerprint"]) == 32
+
+        _serve(body, path=path)
+
+    def test_repeat_query_is_a_memo_hit_counted_in_stats(self,
+                                                         tmp_path):
+        path = str(tmp_path / "svc.sock")
+
+        def body(server):
+            with ServiceClient(path=path) as client:
+                cold = client.query("uber", **SMALL)
+                # Different JSON spelling of the same physics: int
+                # pitch, explicit default ecc — still one fingerprint.
+                warm = client.query("uber", rows=16, cols=16,
+                                    pitch_nm=70, ecc="secded")
+                stats = client.query("stats")["result"]
+            assert not cold["cached"]
+            assert warm["cached"]
+            assert warm["result"] == cold["result"]
+            assert stats["cache"]["hits"] == 1
+            assert stats["endpoints"]["uber"]["count"] == 2
+            assert stats["endpoints"]["uber"]["errors"] == 0
+            assert stats["endpoints"]["uber"]["latency"]["p50_ms"] >= 0
+            assert stats["in_flight"] == 0
+
+        _serve(body, path=path)
+
+    def test_tcp_transport(self):
+        def body(server):
+            with ServiceClient(port=server.port) as client:
+                event = client.query("uber", **SMALL)
+            assert event["ok"]
+
+        _serve(body, port=0)
+
+    def test_bad_requests_become_error_events(self, tmp_path):
+        path = str(tmp_path / "svc.sock")
+
+        def body(server):
+            with ServiceClient(path=path) as client:
+                with pytest.raises(ServiceError, match="unknown op"):
+                    client.query("nonsense")
+                # Domain errors from the engine itself also arrive as
+                # error events, not torn connections.
+                with pytest.raises(ServiceError, match="codeword"):
+                    client.query("uber", rows=4, cols=4)
+                # And the connection is still usable afterwards.
+                assert client.query("stats")["ok"]
+
+        _serve(body, path=path)
+
+    def test_rejects_ambiguous_addresses(self):
+        with pytest.raises(ParameterError):
+            ReliabilityServer(path="/tmp/x.sock", port=1234)
+        with pytest.raises(ParameterError):
+            ReliabilityServer()
+
+
+class TestCoalescing:
+    def test_concurrent_identical_queries_share_one_engine_run(
+            self, tmp_path, monkeypatch):
+        """Acceptance: N concurrent duplicate queries -> exactly one
+        engine run, observed through the server's own run counter."""
+        path = str(tmp_path / "svc.sock")
+        calls = []
+        release = threading.Event()
+        real_uber = RUNNERS["uber"]
+
+        def gated_uber(query, abort, publish):
+            calls.append(1)
+            release.wait(30.0)
+            return real_uber(query, abort, publish)
+
+        monkeypatch.setitem(RUNNERS, "uber", gated_uber)
+
+        def body(server):
+            n = 4
+            events = [None] * n
+
+            def one(i):
+                with ServiceClient(path=path) as client:
+                    events[i] = client.query("uber", **SMALL)
+
+            threads = [threading.Thread(target=one, args=(i,))
+                       for i in range(n)]
+            for thread in threads:
+                thread.start()
+            # Wait until all N subscribers joined the one shared run,
+            # then let it go — no timing assumptions.
+            deadline = time.monotonic() + 10.0
+            while (server.coalescer.started + server.coalescer.joined
+                   < n):
+                assert time.monotonic() < deadline
+                time.sleep(0.005)
+            release.set()
+            for thread in threads:
+                thread.join(timeout=30.0)
+
+            assert all(e is not None and e["ok"] for e in events)
+            results = [e["result"] for e in events]
+            assert all(r == results[0] for r in results)
+            assert server.coalescer.started == 1
+            assert server.coalescer.joined == n - 1
+            # Joined subscribers are flagged; starter + memo are not.
+            assert sum(1 for e in events if e["coalesced"]) == n - 1
+            assert len(calls) == 1
+
+        _serve(body, path=path)
+
+
+class TestProgressStreaming:
+    def test_long_sweep_streams_progress_events(self, tmp_path):
+        """Acceptance: a sweep query streams >= 2 progress events
+        before its terminal result."""
+        path = str(tmp_path / "svc.sock")
+
+        def body(server):
+            seen = []
+            with ServiceClient(path=path) as client:
+                event = client.query(
+                    "sweep", pitch_ratios=[3.0, 2.0, 1.5],
+                    patterns=["random"], eccs=["secded"],
+                    rows=16, cols=16,
+                    on_progress=seen.append)
+            assert event["ok"]
+            assert len(event["result"]["rows"]) == 3
+            assert len(seen) >= 2
+            dones = [e["done"] for e in seen]
+            assert dones == sorted(dones)
+            assert seen[-1]["done"] == seen[-1]["total"] == 3
+
+        _serve(body, path=path)
+
+
+class TestDrain:
+    def test_stop_drains_in_flight_queries(self, tmp_path,
+                                           monkeypatch):
+        """Acceptance: a drain requested mid-query still delivers the
+        in-flight result before the server exits."""
+        path = str(tmp_path / "svc.sock")
+        release = threading.Event()
+        real_uber = RUNNERS["uber"]
+
+        def gated_uber(query, abort, publish):
+            release.wait(30.0)
+            return real_uber(query, abort, publish)
+
+        monkeypatch.setitem(RUNNERS, "uber", gated_uber)
+
+        async def main():
+            server = ReliabilityServer(path=path, capacity=16)
+            await server.start()
+            serve_task = asyncio.create_task(
+                server.serve_forever(install_signals=False))
+
+            holder = {}
+
+            def slow_query():
+                with ServiceClient(path=path) as client:
+                    holder["event"] = client.query("uber", **SMALL)
+
+            query_thread = threading.Thread(target=slow_query)
+            query_thread.start()
+            while server.in_flight == 0:
+                await asyncio.sleep(0.005)
+
+            server.request_stop()          # drain begins mid-query
+            await asyncio.sleep(0.05)
+            assert not serve_task.done()   # still waiting on the query
+            release.set()
+            await asyncio.wait_for(serve_task, timeout=30.0)
+            query_thread.join(timeout=10.0)
+
+            assert holder["event"]["ok"]
+            assert not os.path.exists(path)   # socket cleaned up
+
+        asyncio.run(main())
+
+
+class TestCliSmoke:
+    """The full `repro serve` / `repro query` process topology."""
+
+    @pytest.fixture()
+    def served(self, tmp_path):
+        path = str(tmp_path / "svc.sock")
+        env = dict(os.environ,
+                   PYTHONPATH=os.pathsep.join(
+                       [os.path.join(os.path.dirname(__file__), os.pardir,
+                                     "src")]
+                       + ([os.environ["PYTHONPATH"]]
+                          if os.environ.get("PYTHONPATH") else [])))
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--socket", path],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env)
+        deadline = time.monotonic() + 60.0
+        while not os.path.exists(path):
+            assert proc.poll() is None, proc.stdout.read()
+            assert time.monotonic() < deadline
+            time.sleep(0.05)
+        try:
+            yield path, proc, env
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10.0)
+
+    def _query(self, env, path, op, params=None):
+        cmd = [sys.executable, "-m", "repro.cli", "query", op,
+               "--socket", path]
+        if params:
+            cmd += ["--params", json.dumps(params)]
+        done = subprocess.run(cmd, capture_output=True, text=True,
+                              env=env, timeout=120.0)
+        assert done.returncode == 0, done.stdout + done.stderr
+        return json.loads(done.stdout)
+
+    def test_serve_query_sigterm_lifecycle(self, served):
+        path, proc, env = served
+        cold = self._query(env, path, "uber", SMALL)
+        assert cold["ok"] and not cold["cached"]
+        warm = self._query(env, path, "uber", SMALL)
+        assert warm["cached"]
+        stats = self._query(env, path, "stats")["result"]
+        assert stats["cache"]["hits"] == 1
+        assert stats["coalesce"]["runs_started"] == 1
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=30.0) == 0
+        out = proc.stdout.read()
+        assert "drained" in out
+        assert not os.path.exists(path)

@@ -165,6 +165,35 @@ class TestSweepRunner:
         with pytest.raises(ParameterError):
             executor_for_jobs(4)
 
+    def test_executor_env_wins_at_every_jobs_value(self, monkeypatch):
+        """README precedence: the env var applies whether or not
+        --jobs was given explicitly (it used to silently lose for
+        jobs None/1)."""
+        from repro.sweep import SWEEP_EXECUTOR_ENV
+        monkeypatch.setenv(SWEEP_EXECUTOR_ENV, "thread")
+        assert executor_for_jobs(None) == "thread"
+        assert executor_for_jobs(1) == "thread"
+        assert executor_for_jobs(1, n_points=4) == "thread"
+        assert executor_for_jobs(4) == "thread"
+
+    def test_executor_env_loses_to_explicit_parallel(self,
+                                                     monkeypatch):
+        from repro.sweep import SWEEP_EXECUTOR_ENV
+        monkeypatch.setenv(SWEEP_EXECUTOR_ENV, "thread")
+        assert executor_for_jobs(4, parallel="process") == "process"
+        # An explicit executor at jobs=1 still collapses to serial
+        # (nothing to parallelize), env or not.
+        assert executor_for_jobs(1, parallel="thread") == "serial"
+
+    def test_invalid_executor_env_ignored_for_serial_runs(
+            self, monkeypatch):
+        """A bogus env value must not break single-job invocations
+        that never consulted it before."""
+        from repro.sweep import SWEEP_EXECUTOR_ENV
+        monkeypatch.setenv(SWEEP_EXECUTOR_ENV, "bogus")
+        assert executor_for_jobs(None) == "serial"
+        assert executor_for_jobs(1) == "serial"
+
     def test_worker_error_propagates(self):
         spec = SweepSpec.product(a=(1, -1), b=(2,))
         with pytest.raises(ParameterError):

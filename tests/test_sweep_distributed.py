@@ -389,6 +389,45 @@ class TestSpoolWorker:
         results = dict(run.collect())
         assert isinstance(results[0]["error"], ParameterError)
 
+    def test_timeout_bounds_total_wall_clock(self, tmp_path):
+        """A wedged (forever-empty) spool cannot hang the worker past
+        its --timeout deadline."""
+        worker = SpoolWorker(str(tmp_path), poll=0.01, timeout=0.2)
+        started = time.monotonic()
+        stats = worker.serve_forever()
+        assert time.monotonic() - started < 5.0
+        assert stats["chunks"] == 0
+
+    def test_timeout_clamps_backed_off_sleeps(self, tmp_path):
+        """The deadline wins over the idle-poll backoff: a huge poll
+        interval must not stretch the worker past its timeout."""
+        worker = SpoolWorker(str(tmp_path), poll=30.0, timeout=0.2)
+        started = time.monotonic()
+        worker.serve_forever()
+        assert time.monotonic() - started < 5.0
+
+    def test_idle_poll_backs_off_exponentially(self, tmp_path):
+        """Idle polls double per empty scan, capped at max_poll."""
+        worker = SpoolWorker(str(tmp_path), poll=0.01, max_poll=0.05)
+        delays = [worker.poll]
+        for _ in range(5):
+            delays.append(worker._next_idle_delay(delays[-1]))
+        assert delays == [0.01, 0.02, 0.04, 0.05, 0.05, 0.05]
+
+    def test_default_backoff_ceiling(self, tmp_path):
+        worker = SpoolWorker(str(tmp_path), poll=0.05)
+        assert worker.max_poll == 2.0
+        delay = worker.poll
+        for _ in range(20):
+            delay = worker._next_idle_delay(delay)
+        assert delay == 2.0
+
+    def test_rejects_bad_timeout_and_max_poll(self, tmp_path):
+        with pytest.raises(ParameterError):
+            SpoolWorker(str(tmp_path), timeout=0.0)
+        with pytest.raises(ParameterError):
+            SpoolWorker(str(tmp_path), max_poll=-1.0)
+
 
 class TestWorkerCLI:
     def test_requires_spool(self, monkeypatch, capsys):
@@ -408,4 +447,12 @@ class TestWorkerCLI:
         with open(tmp_path / SHUTDOWN_SENTINEL, "w"):
             pass
         assert worker_main(["--max-idle", "5"]) == 0
+        assert "served 0 chunk(s)" in capsys.readouterr().out
+
+    def test_timeout_flag_exits_without_sentinel(self, tmp_path,
+                                                 capsys):
+        """`repro worker --timeout` returns even when nothing ever
+        tells the worker to stop — the wedged-broker escape hatch."""
+        assert worker_main(["--spool", str(tmp_path), "--poll", "0.01",
+                            "--timeout", "0.2"]) == 0
         assert "served 0 chunk(s)" in capsys.readouterr().out
