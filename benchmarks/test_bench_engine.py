@@ -18,9 +18,16 @@ recomputes past the documented threshold). ``batch_size=2048`` refreshes
 the class maps every 2k transactions; both samplers run identical
 settings, so the comparison is like for like at equal fidelity.
 
+A second axis rides along: the compiled engine backend. With numba
+installed, the JIT backend must beat the numpy reference by >= 5x on
+the same chip-1024 binomial workload (skipped cleanly otherwise), and
+the popcount byte-table fallback's narrow-row column loop must not
+regress against the one-shot gather it replaced.
+
 Every run's throughput lands in ``BENCH_memsys.json`` (repo root, or
-``$REPRO_BENCH_OUT``) as a trajectory over array size and sampler; CI
-uploads the file as an artifact so regressions leave a trace.
+``$REPRO_BENCH_OUT``) as a trajectory over array size, sampler, and
+backend; CI uploads the file as an artifact so regressions leave a
+trace.
 """
 
 import json
@@ -32,10 +39,14 @@ import pytest
 
 from repro.device import MTJDevice, PAPER_EVAL_DEVICE
 from repro.memsys import build_engine
+from repro.memsys.bitplane import _POPCOUNT_TABLE, _popcount_rows_table
 from repro.memsys.traffic import StressPatternWorkload
 
 #: Floor asserted on the 1024 x 1024 binomial-vs-bernoulli ratio.
 SPEEDUP_FLOOR = 10.0
+
+#: Floor asserted on the 1024 x 1024 numba-vs-numpy backend ratio.
+BACKEND_SPEEDUP_FLOOR = 5.0
 
 TRANSACTIONS = 1_000_000
 BATCH_SIZE = 2048
@@ -51,12 +62,12 @@ def _bench_out_path():
     return os.path.join(repo_root, "BENCH_memsys.json")
 
 
-def _engine(device, side, sampler):
+def _engine(device, side, sampler, backend=None):
     return build_engine(
         device, pitch=70e-9, rows=side, cols=side, ecc="secded",
         workload=StressPatternWorkload("checkerboard",
                                        read_fraction=0.9),
-        nominal_wer=1e-6, sampler=sampler)
+        nominal_wer=1e-6, sampler=sampler, backend=backend)
 
 
 def _timed_run(engine, n=TRANSACTIONS, repeats=1):
@@ -122,11 +133,12 @@ def test_binomial_fast_path_speedup_1024(device):
 def _record_bench(speedup, t_bernoulli, t_binomial, runs_1024):
     """Append this run's throughput trajectory to BENCH_memsys.json."""
     trajectory = [
-        {"sampler": sampler, "rows": 1024, "cols": 1024,
+        {"sampler": sampler, "backend": result.config["backend"],
+         "rows": 1024, "cols": 1024,
          "transactions": TRANSACTIONS, "batch_size": BATCH_SIZE,
          "nominal_wer": 1e-6, "seconds": round(seconds, 4),
          "txn_per_s": round(TRANSACTIONS / seconds, 1)}
-        for sampler, (seconds, _) in runs_1024.items()]
+        for sampler, (seconds, result) in runs_1024.items()]
     payload = {
         "bench": "memsys_engine",
         "speedup_1024": {
@@ -144,6 +156,126 @@ def _record_bench(speedup, t_bernoulli, t_binomial, runs_1024):
     print(f"wrote {path}")
 
 
+def _merge_bench(update, extra_points=()):
+    """Fold ``update`` keys and trajectory points into the bench file.
+
+    The headline sampler bench rewrites the file from scratch; every
+    later test merges so a partial run (or a skipped numba leg) never
+    wipes the numbers that were already measured.
+    """
+    path = _bench_out_path()
+    try:
+        with open(path) as fh:
+            payload = json.load(fh)
+    except (OSError, ValueError):
+        payload = {"bench": "memsys_engine", "trajectory": []}
+    payload.update(update)
+    payload.setdefault("trajectory", []).extend(extra_points)
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {path}")
+
+
+def test_numba_backend_speedup_1024(device):
+    """JIT backend >= 5x over numpy on the chip-1024 binomial preset.
+
+    Both engines run the exact workload the ``chip-1024`` CLI preset
+    ships (1024 x 1024, checkerboard at 90% reads, SEC-DED,
+    ``nominal_wer = 1e-6``, binomial sampler) — only the backend
+    differs. A warm-up run triggers JIT compilation before timing so
+    the floor measures steady-state kernels, not compile time.
+    """
+    pytest.importorskip("numba")
+    from repro.memsys.backends import get_backend
+    assert get_backend("numba").ready(), "numba backend failed self-check"
+
+    runs = {}
+    for backend in ("numba", "numpy"):
+        engine = _engine(device, 1024, "binomial", backend=backend)
+        assert engine.backend.name == backend
+        engine.run(10_000, rng=SEED, batch_size=BATCH_SIZE)  # JIT warm-up
+        runs[backend] = _timed_run(engine, repeats=2)
+
+    t_numba, r_numba = runs["numba"]
+    t_numpy, r_numpy = runs["numpy"]
+    speedup = t_numpy / t_numba
+    # Record before asserting so a floor miss still leaves the artifact.
+    _merge_bench(
+        {"backend_speedup_1024": {
+            "numpy_s": round(t_numpy, 4),
+            "numba_s": round(t_numba, 4),
+            "speedup": round(speedup, 2),
+            "floor": BACKEND_SPEEDUP_FLOOR,
+        }},
+        [{"sampler": "binomial", "backend": backend, "rows": 1024,
+          "cols": 1024, "transactions": TRANSACTIONS,
+          "batch_size": BATCH_SIZE, "nominal_wer": 1e-6,
+          "seconds": round(seconds, 4),
+          "txn_per_s": round(TRANSACTIONS / seconds, 1)}
+         for backend, (seconds, _) in runs.items()])
+    print(f"\n1024x1024 binomial, {TRANSACTIONS} txn: "
+          f"numpy {t_numpy:.2f}s, numba {t_numba:.2f}s "
+          f"-> {speedup:.1f}x")
+
+    # The backends must agree exactly: same seed, same draws, same
+    # counters — the JIT path is a reimplementation, not an approximation.
+    for counter in ("write_errors", "disturb_flips", "retention_flips",
+                    "raw_bit_errors", "uncorrectable_words"):
+        assert getattr(r_numba, counter) == getattr(r_numpy, counter), \
+            counter
+
+    assert speedup >= BACKEND_SPEEDUP_FLOOR, (
+        f"numba backend only {speedup:.1f}x over numpy "
+        f"(floor {BACKEND_SPEEDUP_FLOOR}x)")
+
+
+def test_popcount_table_narrow_rows_not_slower():
+    """The column-loop byte-table popcount beats the gather it replaced.
+
+    ``_popcount_rows_table`` is the numpy < 2.0 fallback for the
+    per-word diff; the engine diffs narrow rows (a 72-bit codeword is
+    2 lanes = 16 byte columns), where accumulating one looked-up
+    column at a time avoids the ``(n, 16)`` gathered temp. Assert the
+    adaptive path is not slower than the one-shot gather on that shape
+    (measured ~1.2x faster; floored at parity minus jitter).
+    """
+    rng = np.random.default_rng(SEED)
+    lanes = rng.integers(0, 2**63, size=(131_072, 2), dtype=np.uint64)
+    u8 = np.ascontiguousarray(lanes).view(np.uint8)
+
+    def gather_reference(lanes):
+        return _POPCOUNT_TABLE[np.ascontiguousarray(lanes)
+                               .view(np.uint8)].sum(axis=1,
+                                                    dtype=np.int64)
+
+    assert np.array_equal(_popcount_rows_table(lanes),
+                          gather_reference(lanes))
+
+    def best_of(fn, repeats=7):
+        best = None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            fn(lanes)
+            dt = time.perf_counter() - t0
+            best = dt if best is None else min(best, dt)
+        return best
+
+    t_column = best_of(_popcount_rows_table)
+    t_gather = best_of(gather_reference)
+    ratio = t_gather / t_column
+    _merge_bench({"popcount_narrow_rows": {
+        "rows": int(lanes.shape[0]), "byte_cols": int(u8.shape[1]),
+        "gather_ms": round(t_gather * 1e3, 4),
+        "column_ms": round(t_column * 1e3, 4),
+        "ratio": round(ratio, 3),
+    }})
+    print(f"\npopcount (131072, 16 bytes): gather {t_gather * 1e3:.3f}ms, "
+          f"column loop {t_column * 1e3:.3f}ms -> {ratio:.2f}x")
+    assert ratio >= 0.9, (
+        f"column-loop popcount regressed to {ratio:.2f}x of the gather")
+
+
 def test_binomial_throughput_scales_with_array_size(device):
     """Fast-path throughput stays near-flat as the array grows.
 
@@ -155,26 +287,20 @@ def test_binomial_throughput_scales_with_array_size(device):
     """
     n = 250_000
     rates = {}
+    backend = None
     for side in (256, 512, 1024):
         engine = _engine(device, side, "binomial")
         seconds, result = _timed_run(engine, n=n)
         assert result.n_transactions == n
         rates[side] = n / seconds
+        backend = result.config["backend"]
         print(f"\nbinomial {side}x{side}: {rates[side]:.0f} txn/s")
     assert rates[1024] >= rates[256] / 4.0, rates
 
-    path = _bench_out_path()
-    try:
-        with open(path) as fh:
-            payload = json.load(fh)
-    except (OSError, ValueError):
-        payload = {"bench": "memsys_engine", "trajectory": []}
-    payload.setdefault("trajectory", []).extend(
-        {"sampler": "binomial", "rows": side, "cols": side,
+    _merge_bench({}, [
+        {"sampler": "binomial", "backend": backend,
+         "rows": side, "cols": side,
          "transactions": n, "batch_size": BATCH_SIZE,
          "nominal_wer": 1e-6, "seconds": round(n / rate, 4),
          "txn_per_s": round(rate, 1)}
-        for side, rate in rates.items())
-    with open(path, "w") as fh:
-        json.dump(payload, fh, indent=2)
-        fh.write("\n")
+        for side, rate in rates.items()])

@@ -172,19 +172,32 @@ def _cmd_memsys(args):
         device, pitch=nm_to_m(args.pitch_nm), rows=args.rows,
         cols=args.cols, ecc=args.ecc, workload=args.pattern,
         scrub=scrub, vp=args.vp, nominal_wer=args.nominal_wer,
-        sampler=args.sampler)
+        sampler=args.sampler, backend=args.backend)
     config = engine.controller.describe()
     print(f"memsys: {args.rows}x{args.cols} array at "
           f"{args.pitch_nm:g} nm pitch, {args.pattern} traffic, "
-          f"{args.ecc} ECC, {args.sampler} sampler, write pulses "
-          f"trimmed to "
+          f"{args.ecc} ECC, {args.sampler} sampler "
+          f"({engine.backend.name} backend), write pulses trimmed to "
           f"{config['t_pulse0_ns']:.1f}/{config['t_pulse1_ns']:.1f} ns "
           f"(nominal WER {args.nominal_wer:g})")
     print()
-    result = engine.run(args.transactions, rng=rng)
+    result = engine.run(args.transactions, rng=rng,
+                        profile=args.profile)
     headers, rows = result.summary_rows()
     print(format_table(headers, rows))
     print()
+    if args.profile:
+        profile = result.extras["profile"]
+        total = profile.get("total") or 0.0
+        print("phase wall-time breakdown "
+              f"({engine.backend.name} backend):")
+        prof_rows = [
+            (phase, f"{seconds:.3f}",
+             f"{100.0 * seconds / total:.1f}%" if total else "-")
+            for phase, seconds in profile.items() if phase != "total"]
+        prof_rows.append(("total", f"{total:.3f}", "100.0%"))
+        print(format_table(["phase", "seconds", "share"], prof_rows))
+        print()
 
     sweep = None
     if args.no_sweep:
@@ -195,7 +208,8 @@ def _cmd_memsys(args):
                            seed=seed, jobs=args.jobs,
                            executor=args.executor, vp=args.vp,
                            nominal_wer=args.nominal_wer,
-                           sampler=args.sampler)
+                           sampler=args.sampler,
+                           backend=args.backend)
         print("pitch sweep (expectation mode; UBER of the worst-case "
               "data pattern rises as pitch shrinks):")
         print(format_table(SWEEP_HEADERS, sweep.rows,
@@ -430,6 +444,18 @@ def build_parser():
                         "'bernoulli' reference (default) or "
                         "class-grouped 'binomial' rare-event fast "
                         "path")
+    from .memsys.backends import BACKENDS, ENGINE_BACKEND_ENV
+    p.add_argument("--backend", default=None,
+                   choices=sorted(BACKENDS),
+                   help="compute backend of the binomial fast path: "
+                        "'numpy' reference or JIT-compiled 'numba' "
+                        "(falls back to numpy with a warning when "
+                        "numba is missing; default consults "
+                        f"{ENGINE_BACKEND_ENV}, then numpy)")
+    p.add_argument("--profile", action="store_true",
+                   help="print a per-phase wall-time breakdown "
+                        "(classify/draw/place/ecc/scrub) after the "
+                        "Monte-Carlo run")
     p.add_argument("--preset", default=None,
                    choices=sorted(MEMSYS_PRESETS),
                    help="large-geometry operating points "

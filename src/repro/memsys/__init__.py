@@ -21,6 +21,9 @@ mechanisms — write error, read disturb, retention — into one number.
   is retained),
 * :mod:`repro.memsys.bitplane` — bit-packed ``intended``/``actual``
   array state (uint64 lanes, XOR + popcount error counting),
+* :mod:`repro.memsys.backends` — pluggable compute backends for the
+  fast path's hot kernels (``"numpy"`` reference / JIT ``"numba"``,
+  selected per engine or via ``REPRO_ENGINE_BACKEND``),
 * :mod:`repro.memsys.sweeps` — pitch x pattern x ECC sweeps: the
   paper's density axis carried to the system level.
 
@@ -34,6 +37,14 @@ Quick start::
     print(f"raw BER {result.raw_ber:.2e} -> UBER {result.uber:.2e}")
 """
 
+from .backends import (
+    BACKENDS,
+    ENGINE_BACKEND_ENV,
+    get_backend,
+    numba_available,
+    resolve_backend,
+    validate_backend,
+)
 from .controller import (
     ArrayController,
     WordMap,
@@ -69,8 +80,10 @@ from .traffic import (
 
 __all__ = [
     "ArrayController",
+    "BACKENDS",
     "BitPlane",
     "DecodeOutcome",
+    "ENGINE_BACKEND_ENV",
     "ECC_SCHEMES",
     "HammingSECDED",
     "HotSpotWorkload",
@@ -89,11 +102,15 @@ __all__ = [
     "Workload",
     "build_engine",
     "class_index",
+    "get_backend",
     "make_ecc",
+    "numba_available",
+    "resolve_backend",
     "sample_class_flips",
     "make_workload",
     "neighborhood_class_map",
     "no_scrub",
     "secded_margin_pitch",
     "uber_sweep",
+    "validate_backend",
 ]

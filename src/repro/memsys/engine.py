@@ -33,6 +33,8 @@ Monte Carlo itself has two samplers (see :mod:`repro.memsys.sampling`):
 
 from __future__ import annotations
 
+import time
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field
 from typing import Dict
 
@@ -42,6 +44,7 @@ from ..device.mtj import MTJDevice
 from ..errors import ParameterError
 from ..experiments.base import ExperimentResult
 from ..validation import require_positive
+from .backends import resolve_backend
 from .bitplane import BitPlane
 from .controller import ArrayController
 from .ecc import DecodeOutcome, NoECC, make_ecc
@@ -53,6 +56,66 @@ from .sampling import (
 )
 from .scrub import no_scrub
 from .traffic import StressPatternWorkload, Workload, make_workload
+
+#: Shared do-nothing context for un-profiled runs: ``_prof(None, ...)``
+#: must cost one attribute check, not an allocation per phase.
+_NULL_CONTEXT = nullcontext()
+
+
+def _prof(profiler, name):
+    """Phase context of ``profiler``, or a no-op when profiling is off."""
+    if profiler is None:
+        return _NULL_CONTEXT
+    return profiler.phase(name)
+
+
+class PhaseProfiler:
+    """Accumulates *self* wall-time per engine phase.
+
+    Phases may nest (a scrub's rewrite draws flips); time booked to an
+    inner phase is excluded from the enclosing one, so the phase totals
+    partition the instrumented wall-time and sum to (at most) the run's
+    elapsed time.
+    """
+
+    #: Canonical phase order for reports.
+    PHASES = ("classify", "draw", "place", "ecc", "scrub")
+
+    def __init__(self):
+        self.seconds = {}
+        self._stack = []
+
+    @contextmanager
+    def phase(self, name):
+        """Time the enclosed block as ``name`` (exclusive of children)."""
+        now = time.perf_counter()
+        if self._stack:
+            parent = self._stack[-1]
+            self.seconds[parent[0]] = (self.seconds.get(parent[0], 0.0)
+                                       + now - parent[1])
+        self._stack.append([name, now])
+        try:
+            yield
+        finally:
+            entry = self._stack.pop()
+            now = time.perf_counter()
+            self.seconds[name] = (self.seconds.get(name, 0.0)
+                                  + now - entry[1])
+            if self._stack:
+                self._stack[-1][1] = now
+
+    def breakdown(self, total=None):
+        """Ordered ``{phase: seconds}``; adds ``other``/``total`` rows
+        when the run's total wall-time is known."""
+        out = {name: self.seconds.get(name, 0.0)
+               for name in self.PHASES if name in self.seconds}
+        for name in self.seconds:
+            if name not in out:
+                out[name] = self.seconds[name]
+        if total is not None:
+            out["other"] = max(0.0, float(total) - sum(out.values()))
+            out["total"] = float(total)
+        return out
 
 
 @dataclass
@@ -165,11 +228,19 @@ class ReliabilityEngine:
         or ``"binomial"`` (rare-event fast path: class-grouped flip
         counts over bit-packed state). Statistically equivalent;
         ``expected_rates`` is identical under both.
+    backend:
+        Compute backend for the binomial fast path's hot kernels (see
+        :mod:`repro.memsys.backends`): a registry name (``"numpy"`` /
+        ``"numba"``), a backend instance, or ``None`` to consult
+        ``REPRO_ENGINE_BACKEND`` and default to numpy. Resolved once at
+        construction; a ``numba`` request degrades to numpy (warn once)
+        when numba is absent. The bernoulli reference path never uses
+        it.
     """
 
     def __init__(self, controller, workload="random", scrub=None,
                  cycle_time=50e-9, writeback=True,
-                 sampler="bernoulli"):
+                 sampler="bernoulli", backend=None):
         if not isinstance(controller, ArrayController):
             raise ParameterError(
                 f"controller must be an ArrayController, got "
@@ -186,6 +257,7 @@ class ReliabilityEngine:
         self.cycle_time = float(cycle_time)
         self.writeback = bool(writeback)
         self.sampler = validate_sampler(sampler)
+        self.backend = resolve_backend(backend)
 
     def _config(self):
         return {
@@ -196,12 +268,13 @@ class ReliabilityEngine:
             "cycle_time_s": self.cycle_time,
             "writeback": self.writeback,
             "sampler": self.sampler,
+            "backend": self.backend.name,
         }
 
     # -- Monte-Carlo mode ---------------------------------------------------
 
     def run(self, n_transactions, rng=None, batch_size=8192,
-            progress=None):
+            progress=None, profile=False):
         """Simulate ``n_transactions`` and return a :class:`MemsysResult`.
 
         Batches are split into *occurrence-rank rounds* — in round ``r``
@@ -226,20 +299,36 @@ class ReliabilityEngine:
         the :mod:`repro.service` server streams progress and aborts
         abandoned queries. The callback never changes the draw stream,
         so a run with ``progress`` is bit-identical to one without.
+
+        ``profile=True`` times the run's phases (classify / draw /
+        place / ecc / scrub) and attaches the breakdown as
+        ``result.extras["profile"]`` (seconds per phase, plus
+        ``other``/``total``), so backend wins are attributable. Timing
+        never touches the draw stream: a profiled run is bit-identical
+        to an unprofiled one.
         """
         require_positive(n_transactions, "n_transactions")
         require_positive(batch_size, "batch_size")
         rng = np.random.default_rng(rng)
+        profiler = PhaseProfiler() if profile else None
+        t0 = time.perf_counter()
         if self.sampler == "binomial":
-            return self._run_binomial(int(n_transactions), rng,
-                                      int(batch_size), progress)
-        return self._run_bernoulli(int(n_transactions), rng,
-                                   int(batch_size), progress)
+            result = self._run_binomial(int(n_transactions), rng,
+                                        int(batch_size), progress,
+                                        profiler)
+        else:
+            result = self._run_bernoulli(int(n_transactions), rng,
+                                         int(batch_size), progress,
+                                         profiler)
+        if profiler is not None:
+            result.extras["profile"] = profiler.breakdown(
+                total=time.perf_counter() - t0)
+        return result
 
     # -- bernoulli reference path -------------------------------------------
 
     def _run_bernoulli(self, n_transactions, rng, batch_size,
-                       progress=None):
+                       progress=None, profiler=None):
         """One uniform per cell per mechanism over dense int8 state."""
         ctl = self.controller
         words = ctl.words
@@ -261,19 +350,25 @@ class ReliabilityEngine:
             n = min(int(batch_size), remaining)
             remaining -= n
             batch = self.workload.batch(n, words.n_words, rng)
-            nd, ng = ctl.class_maps(actual)
+            with _prof(profiler, "classify"):
+                nd, ng = ctl.class_maps(actual)
 
             # Retention exposure accrued over this batch's window; a
             # due scrub repairs the accumulation *before* the window's
             # accesses observe it.
             dt = n * self.cycle_time
             now += dt
-            p_ret = ctl.retention_flip_probability(actual, nd, ng, dt)
-            flips = (rng.random(actual.shape) < p_ret).astype(np.int8)
-            actual ^= flips
+            with _prof(profiler, "draw"):
+                p_ret = ctl.retention_flip_probability(actual, nd, ng,
+                                                       dt)
+                flips = (rng.random(actual.shape)
+                         < p_ret).astype(np.int8)
+            with _prof(profiler, "place"):
+                actual ^= flips
             result.retention_flips += int(flips.sum())
             if self.scrub.due(now):
-                self._run_scrub(intended, actual, rng, result)
+                with _prof(profiler, "scrub"):
+                    self._run_scrub(intended, actual, rng, result)
                 self.scrub.mark_done(now)
 
             rank = _occurrence_rank(batch.word)
@@ -281,7 +376,8 @@ class ReliabilityEngine:
                 sel = rank == r
                 self._apply_round(
                     batch.word[sel], batch.is_write[sel], intended,
-                    actual, nd, ng, data_positions, rng, result)
+                    actual, nd, ng, data_positions, rng, result,
+                    profiler)
 
             result.n_transactions += n
             if progress is not None:
@@ -291,7 +387,8 @@ class ReliabilityEngine:
         return result
 
     def _apply_round(self, round_words, is_write, intended, actual,
-                     nd, ng, data_positions, rng, result):
+                     nd, ng, data_positions, rng, result,
+                     profiler=None):
         """One round: every word in ``round_words`` is unique."""
         ctl = self.controller
         words = ctl.words
@@ -301,12 +398,16 @@ class ReliabilityEngine:
         result.n_writes += int(w_words.size)
         if w_words.size:
             data = self._write_data(w_words, words, data_positions, rng)
-            cw = ecc.encode(data)
+            with _prof(profiler, "ecc"):
+                cw = ecc.encode(data)
             cells = words.cells[w_words]
-            p_wr = ctl.write_error_probability(cw, nd[cells], ng[cells])
-            errs = (rng.random(cw.shape) < p_wr).astype(np.int8)
-            intended[cells] = cw
-            actual[cells] = cw ^ errs
+            with _prof(profiler, "draw"):
+                p_wr = ctl.write_error_probability(cw, nd[cells],
+                                                   ng[cells])
+                errs = (rng.random(cw.shape) < p_wr).astype(np.int8)
+            with _prof(profiler, "place"):
+                intended[cells] = cw
+                actual[cells] = cw ^ errs
             result.bits_written += int(cw.size)
             result.write_errors += int(errs.sum())
 
@@ -316,27 +417,33 @@ class ReliabilityEngine:
         result.n_reads += int(r_words.size)
         if r_words.size:
             cells = words.cells[r_words]
-            wrong = actual[cells] != intended[cells]
-            n_err = wrong.sum(axis=1)
-            outcomes = ecc.classify_errors(n_err)
-            result.bits_read += int(cells.size)
-            result.raw_bit_errors += int(n_err.sum())
-            uncorr = outcomes >= DecodeOutcome.DETECTED
-            result.uncorrectable_bit_errors += int(n_err[uncorr].sum())
-            result.words_ok += int((outcomes == DecodeOutcome.OK).sum())
-            corrected = outcomes == DecodeOutcome.CORRECTED
-            result.words_corrected += int(corrected.sum())
-            result.words_detected += int(
-                (outcomes == DecodeOutcome.DETECTED).sum())
-            result.words_silent += int(
-                (outcomes == DecodeOutcome.SILENT).sum())
+            with _prof(profiler, "ecc"):
+                wrong = actual[cells] != intended[cells]
+                n_err = wrong.sum(axis=1)
+                outcomes = ecc.classify_errors(n_err)
+                result.bits_read += int(cells.size)
+                result.raw_bit_errors += int(n_err.sum())
+                uncorr = outcomes >= DecodeOutcome.DETECTED
+                result.uncorrectable_bit_errors += int(
+                    n_err[uncorr].sum())
+                result.words_ok += int(
+                    (outcomes == DecodeOutcome.OK).sum())
+                corrected = outcomes == DecodeOutcome.CORRECTED
+                result.words_corrected += int(corrected.sum())
+                result.words_detected += int(
+                    (outcomes == DecodeOutcome.DETECTED).sum())
+                result.words_silent += int(
+                    (outcomes == DecodeOutcome.SILENT).sum())
             if self.writeback and np.any(corrected):
-                self._rewrite(cells[corrected], intended, actual,
-                              nd, ng, rng, result)
-            p_rd = ctl.disturb_probability(
-                actual[cells], nd[cells], ng[cells])
-            flips = (rng.random(cells.shape) < p_rd).astype(np.int8)
-            actual[cells] ^= flips
+                with _prof(profiler, "place"):
+                    self._rewrite(cells[corrected], intended, actual,
+                                  nd, ng, rng, result)
+            with _prof(profiler, "draw"):
+                p_rd = ctl.disturb_probability(
+                    actual[cells], nd[cells], ng[cells])
+                flips = (rng.random(cells.shape) < p_rd).astype(np.int8)
+            with _prof(profiler, "place"):
+                actual[cells] ^= flips
             result.disturb_flips += int(flips.sum())
 
     def _write_data(self, uniq_words, word_map, data_positions, rng):
@@ -387,19 +494,21 @@ class ReliabilityEngine:
     # cells.
 
     def _run_binomial(self, n_transactions, rng, batch_size,
-                      progress=None):
+                      progress=None, profiler=None):
         """Class-grouped binomial draws over bit-packed planes."""
         ctl = self.controller
         words = ctl.words
         rows, cols = ctl.layout.rows, ctl.layout.cols
+        backend = self.backend
 
         initial = self.workload.initial_bits(rows, cols, rng)
         flat = np.asarray(initial, dtype=np.int8).reshape(-1)
         intended = BitPlane.from_bits(flat, words.n_words,
                                       ctl.ecc.n_code)
         state = _PackedState(intended, intended.copy(),
-                             IncrementalClassMaps(rows, cols, intended),
-                             ctl)
+                             IncrementalClassMaps(rows, cols, intended,
+                                                  backend=backend),
+                             ctl, backend=backend)
         self.workload.bind(words)
         self.workload.reset()
         self.scrub.reset()
@@ -412,19 +521,23 @@ class ReliabilityEngine:
             n = min(int(batch_size), remaining)
             remaining -= n
             batch = self.workload.batch(n, words.n_words, rng)
-            state.maps.refresh(state.actual)
+            with _prof(profiler, "classify"):
+                state.maps.refresh(state.actual)
 
             dt = n * self.cycle_time
             now += dt
-            flips = sample_class_flips(
-                state.maps.class_idx,
-                ctl.retention_class_probability(dt), rng,
-                hist=state.maps.hist)
+            with _prof(profiler, "draw"):
+                flips = sample_class_flips(
+                    state.maps.class_idx,
+                    ctl.retention_class_probability(dt), rng,
+                    hist=state.maps.hist, backend=backend)
             if flips.size:
-                state.toggle(flips)
+                with _prof(profiler, "place"):
+                    state.toggle(flips)
             result.retention_flips += int(flips.size)
             if self.scrub.due(now):
-                self._run_scrub_binomial(state, rng, result)
+                with _prof(profiler, "scrub"):
+                    self._run_scrub_binomial(state, rng, result)
                 self.scrub.mark_done(now)
 
             rank = _occurrence_rank(batch.word)
@@ -432,7 +545,7 @@ class ReliabilityEngine:
                 sel = rank == r
                 self._apply_round_binomial(
                     batch.word[sel], batch.is_write[sel], state,
-                    data_positions, rng, result)
+                    data_positions, rng, result, profiler)
 
             result.n_transactions += n
             if progress is not None:
@@ -442,7 +555,8 @@ class ReliabilityEngine:
         return result
 
     def _apply_round_binomial(self, round_words, is_write, state,
-                              data_positions, rng, result):
+                              data_positions, rng, result,
+                              profiler=None):
         """One unique-word round over the packed state."""
         ctl = self.controller
         words = ctl.words
@@ -453,15 +567,18 @@ class ReliabilityEngine:
         result.n_writes += int(w_words.size)
         if w_words.size:
             data = self._write_data(w_words, words, data_positions, rng)
-            cw = ecc.encode(data)
+            with _prof(profiler, "ecc"):
+                cw = ecc.encode(data)
             cells = words.cells[w_words].reshape(-1)
             cw_flat = cw.reshape(-1)
-            flips = sample_thinned_flips(
-                cells.size, state.wer_p,
-                lambda cand: maps.cell_classes(cw_flat[cand],
-                                               cells[cand]),
-                rng, p_max=state.wer_pmax)
-            state.write_words(w_words, cw, cells[flips])
+            with _prof(profiler, "draw"):
+                flips = sample_thinned_flips(
+                    cells.size, state.wer_p,
+                    lambda cand: maps.cell_classes(cw_flat[cand],
+                                                   cells[cand]),
+                    rng, p_max=state.wer_pmax)
+            with _prof(profiler, "place"):
+                state.write_words(w_words, cw, cells[flips])
             result.bits_written += int(cw.size)
             result.write_errors += int(flips.size)
 
@@ -471,7 +588,8 @@ class ReliabilityEngine:
             cells = words.cells[r_words].reshape(-1)
             result.bits_read += int(cells.size)
             if state.wrong_bits:
-                self._book_read_errors(r_words, state, rng, result)
+                with _prof(profiler, "ecc"):
+                    self._book_read_errors(r_words, state, rng, result)
             else:
                 # No mismatched bit anywhere in the array: every read
                 # is clean without touching any per-word array.
@@ -479,13 +597,15 @@ class ReliabilityEngine:
             # Disturb of the read current: candidates are classified
             # lazily, from the post-rewrite stored bits.
             actual = state.actual
-            flips = sample_thinned_flips(
-                cells.size, state.disturb_p,
-                lambda cand: maps.cell_classes(
-                    actual.get_cells(cells[cand]), cells[cand]),
-                rng, p_max=state.disturb_pmax)
+            with _prof(profiler, "draw"):
+                flips = sample_thinned_flips(
+                    cells.size, state.disturb_p,
+                    lambda cand: maps.cell_classes(
+                        actual.get_cells(cells[cand]), cells[cand]),
+                    rng, p_max=state.disturb_pmax)
             if flips.size:
-                state.toggle(cells[flips])
+                with _prof(profiler, "place"):
+                    state.toggle(cells[flips])
             result.disturb_flips += int(flips.size)
 
     def _book_read_errors(self, r_words, state, rng, result):
@@ -602,10 +722,12 @@ class _PackedState:
     equivalence tests assert.
     """
 
-    def __init__(self, intended, actual, maps, controller):
+    def __init__(self, intended, actual, maps, controller,
+                 backend=None):
         self.intended = intended
         self.actual = actual
         self.maps = maps
+        self.backend = backend
         self.err_count = np.zeros(intended.n_words, dtype=np.int16)
         self.wrong_bits = 0
         # Run-scoped clipped copies of the controller's fixed per-class
@@ -620,6 +742,13 @@ class _PackedState:
 
     def toggle(self, flat_idx):
         """Flip ``actual`` at flat cells (duplicate-free indices)."""
+        if self.backend is not None:
+            delta = self.backend.toggle_and_count(
+                self.intended, self.actual, flat_idx, self.err_count)
+            if delta is not None:
+                # The fused kernel performed the toggles itself.
+                self.wrong_bits += int(delta)
+                return
         mapped = flat_idx[flat_idx < self.actual.n_mapped]
         if mapped.size:
             wrong_before = (self.actual.get_cells(mapped)
@@ -647,26 +776,36 @@ class _PackedState:
         self._inject(flip_cells)
 
     def _inject(self, flip_cells):
-        if flip_cells.size:
-            self.actual.toggle_cells(flip_cells)
-            np.add.at(self.err_count,
-                      flip_cells // self.actual.code_bits,
-                      np.int16(1))
-            self.wrong_bits += int(flip_cells.size)
+        if not flip_cells.size:
+            return
+        if self.backend is not None:
+            injected = self.backend.inject_and_count(
+                self.actual, flip_cells, self.err_count)
+            if injected is not None:
+                self.wrong_bits += int(injected)
+                return
+        self.actual.toggle_cells(flip_cells)
+        np.add.at(self.err_count,
+                  flip_cells // self.actual.code_bits,
+                  np.int16(1))
+        self.wrong_bits += int(flip_cells.size)
 
 
 def build_engine(device, pitch, rows=64, cols=64, ecc="secded",
                  workload="random", data_bits=64, scrub=None,
                  vp=0.95, nominal_wer=2e-3, read_voltage=0.15,
                  t_read=20e-9, cycle_time=50e-9, temperature=None,
-                 writeback=True, sampler="bernoulli"):
+                 writeback=True, sampler="bernoulli", backend=None):
     """Convenience factory: device + knobs -> :class:`ReliabilityEngine`.
 
     ``ecc`` and ``workload`` accept registry names (see
     :data:`repro.memsys.ecc.ECC_SCHEMES` and
     :data:`repro.memsys.traffic.WORKLOADS`); ``sampler`` selects the
     Monte-Carlo draw strategy (see :data:`repro.memsys.sampling.\
-SAMPLERS` — use ``"binomial"`` for rare-event operating points).
+SAMPLERS` — use ``"binomial"`` for rare-event operating points);
+    ``backend`` selects the fast path's compute backend (see
+    :data:`repro.memsys.backends.BACKENDS`; default consults
+    ``REPRO_ENGINE_BACKEND``, then numpy).
     """
     from ..arrays.layout import ArrayLayout
     if not isinstance(device, MTJDevice):
@@ -681,7 +820,7 @@ SAMPLERS` — use ``"binomial"`` for rare-event operating points).
         temperature=temperature)
     return ReliabilityEngine(controller, workload=workload, scrub=scrub,
                              cycle_time=cycle_time, writeback=writeback,
-                             sampler=sampler)
+                             sampler=sampler, backend=backend)
 
 
 def _occurrence_rank(words):

@@ -98,7 +98,8 @@ def sample_thinned_flips(n, p_class, class_of, rng, p_max=None):
     return candidates[accept]
 
 
-def sample_class_flips(class_idx, p_class, rng, hist=None):
+def sample_class_flips(class_idx, p_class, rng, hist=None,
+                       backend=None):
     """Flat indices of flipped cells among ``class_idx``.
 
     ``class_idx`` is any-shape array of 0..49 classes (flattened
@@ -106,6 +107,11 @@ def sample_class_flips(class_idx, p_class, rng, hist=None):
     ``p_class`` is the flat ``(50,)`` per-class flip probability.
     ``hist`` is the precomputed class histogram when the caller
     maintains one (:class:`IncrementalClassMaps`); recomputed otherwise.
+    ``backend`` is an optional engine backend (see
+    :mod:`repro.memsys.backends`) whose ``group_class_members`` hook
+    may replace the stable-argsort grouping with a counting sort; both
+    yield ascending member order per class, so the seeded draws are
+    bit-identical either way.
 
     One vectorized ``rng.binomial`` over the 50 classes, then one
     ``rng.choice`` per class that actually flipped — at rare-event
@@ -126,8 +132,13 @@ def sample_class_flips(class_idx, p_class, rng, hist=None):
         # One stable grouping pass instead of a whole-array scan per
         # hot class; stable sort keeps each group ascending, exactly
         # like flatnonzero, so the draws are unchanged.
-        order = np.argsort(flat, kind="stable")
-        bounds = np.concatenate([[0], np.cumsum(hist)])
+        grouped = (backend.group_class_members(flat, hist)
+                   if backend is not None else None)
+        if grouped is not None:
+            order, bounds = grouped
+        else:
+            order = np.argsort(flat, kind="stable")
+            bounds = np.concatenate([[0], np.cumsum(hist)])
         members_by_class = {int(c): order[bounds[c]:bounds[c + 1]]
                             for c in hot}
     picks = []
@@ -153,6 +164,14 @@ class IncrementalClassMaps:
     the array a full vectorized
     :func:`~repro.memsys.controller.neighborhood_class_map` recompute
     is cheaper and the maps rebuild from scratch.
+
+    ``backend`` (see :mod:`repro.memsys.backends`) may take over the
+    diff popcount, the full rebuild, and the incremental update via its
+    kernel hooks; any hook returning ``None`` falls through to the
+    reference numpy path, and the maps are identical either way. A
+    backend may also retune :attr:`full_rebuild_fraction` through its
+    ``preferred_rebuild_fraction`` (an explicit
+    ``full_rebuild_fraction`` argument still wins).
     """
 
     #: Touched-cell fraction above which a full rebuild wins over
@@ -163,15 +182,21 @@ class IncrementalClassMaps:
     _DIRECT_OFFSETS = ((-1, 0), (1, 0), (0, -1), (0, 1))
     _DIAGONAL_OFFSETS = ((-1, -1), (-1, 1), (1, -1), (1, 1))
 
-    def __init__(self, rows, cols, plane, full_rebuild_fraction=None):
+    def __init__(self, rows, cols, plane, full_rebuild_fraction=None,
+                 backend=None):
         self.rows = int(rows)
         self.cols = int(cols)
         if self.rows * self.cols != plane.n_cells:
             raise ParameterError(
                 f"plane has {plane.n_cells} cells, expected "
                 f"{rows} x {cols}")
+        self.backend = backend
         if full_rebuild_fraction is not None:
             self.full_rebuild_fraction = float(full_rebuild_fraction)
+        elif (backend is not None
+                and backend.preferred_rebuild_fraction is not None):
+            self.full_rebuild_fraction = float(
+                backend.preferred_rebuild_fraction)
         self.rebuilds = 0
         self.incremental_refreshes = 0
         self._rebuild(plane)
@@ -184,9 +209,17 @@ class IncrementalClassMaps:
         Cheap no-op when nothing changed since the last refresh (one
         XOR + popcount over the packed lanes).
         """
-        xor = self._snapshot.lanes ^ plane.lanes
-        tail_changed = np.flatnonzero(self._snapshot.tail != plane.tail)
-        per_word = popcount_rows(xor)
+        snap = self._snapshot
+        per_word = None
+        if self.backend is not None:
+            # Fused XOR + popcount: no whole-plane XOR temp.
+            per_word = self.backend.xor_popcount_rows(snap.lanes,
+                                                      plane.lanes)
+        xor = None
+        if per_word is None:
+            xor = snap.lanes ^ plane.lanes
+            per_word = popcount_rows(xor)
+        tail_changed = np.flatnonzero(snap.tail != plane.tail)
         n_changed = int(per_word.sum()) + tail_changed.size
         if n_changed == 0:
             return
@@ -195,7 +228,10 @@ class IncrementalClassMaps:
             return
         changed_words = np.flatnonzero(per_word)
         if changed_words.size:
-            diff_bits = unpack_bits(xor[changed_words], plane.code_bits)
+            xor_changed = (xor[changed_words] if xor is not None
+                           else snap.lanes[changed_words]
+                           ^ plane.lanes[changed_words])
+            diff_bits = unpack_bits(xor_changed, plane.code_bits)
             word_row, bit = np.nonzero(diff_bits)
             changed = changed_words[word_row] * plane.code_bits + bit
         else:
@@ -212,18 +248,28 @@ class IncrementalClassMaps:
 
     def _rebuild(self, plane):
         bits = plane.to_bits()
-        nd2, ng2 = neighborhood_class_map(
-            bits.reshape(self.rows, self.cols))
-        self.nd = nd2.reshape(-1)
-        self.ng = ng2.reshape(-1)
-        self.class_idx = class_index(bits, self.nd, self.ng)
-        self.hist = np.bincount(self.class_idx, minlength=N_CLASSES)
+        rebuilt = (self.backend.rebuild_class_maps(bits, self.rows,
+                                                   self.cols)
+                   if self.backend is not None else None)
+        if rebuilt is not None:
+            self.nd, self.ng, self.class_idx, self.hist = rebuilt
+        else:
+            nd2, ng2 = neighborhood_class_map(
+                bits.reshape(self.rows, self.cols))
+            self.nd = nd2.reshape(-1)
+            self.ng = ng2.reshape(-1)
+            self.class_idx = class_index(bits, self.nd, self.ng)
+            self.hist = np.bincount(self.class_idx,
+                                    minlength=N_CLASSES)
         self._snapshot = plane.copy()
         self.rebuilds += 1
 
     def _apply_changes(self, changed, plane):
         """Scattered update: every changed cell toggled exactly once."""
         new_bits = plane.get_cells(changed)
+        if self.backend is not None and self.backend.apply_class_changes(
+                self, changed, new_bits, plane):
+            return
         if changed.size <= 8:
             # The per-batch common case at rare-event rates is one or
             # two flipped cells; scalar neighbor updates beat a dozen

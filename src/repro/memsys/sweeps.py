@@ -21,7 +21,13 @@ Sampler contract: expectation mode draws nothing, so these sweeps are
 ``sampler="binomial"`` through ``engine_kwargs`` is valid (and what the
 CLI does), it simply cannot change the numbers. Monte-Carlo runs at the
 sweep's operating points are where the sampler matters; see
-:mod:`repro.memsys.sampling`.
+:mod:`repro.memsys.sampling`. The same holds for ``backend=`` (see
+:mod:`repro.memsys.backends`): expectation mode never enters the
+binomial hot loop, and the backend kernels are bit-exact against the
+numpy reference anyway — but the kwarg travels to every worker as a
+plain registry *name*, so distributed workers resolve it (or the
+``REPRO_ENGINE_BACKEND`` environment) in their own process, falling
+back to numpy wherever numba is missing.
 """
 
 from __future__ import annotations

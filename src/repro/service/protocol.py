@@ -90,7 +90,11 @@ class UberQuery:
 
     ``mode="expected"`` evaluates the engine's noise-free expectation
     (deterministic, cheap); ``mode="sampled"`` runs the Monte-Carlo
-    traffic loop over ``transactions`` transactions.
+    traffic loop over ``transactions`` transactions. ``backend``
+    optionally pins the fast path's compute backend (``"numpy"`` /
+    ``"numba"``); ``None`` lets the server resolve its own
+    ``REPRO_ENGINE_BACKEND`` environment. Sampled responses report the
+    backend the run actually used.
     """
 
     op = "uber"
@@ -103,6 +107,7 @@ class UberQuery:
     vp: float = 0.95
     nominal_wer: float = 2e-3
     sampler: str = "bernoulli"
+    backend: str | None = None
     mode: str = "expected"
     transactions: int = 50_000
     seed: int = 0
@@ -120,6 +125,9 @@ class UberQuery:
                 f"{self.mode!r}")
         require_int_in_range(self.transactions, "transactions", 1,
                              10**9)
+        if self.backend is not None:
+            from ..memsys.backends import validate_backend
+            validate_backend(self.backend)
         if self.ecd_nm is not None:
             require_positive(self.ecd_nm, "ecd_nm")
 

@@ -93,7 +93,7 @@ def run_uber(query, abort, publish):
         device, pitch=nm_to_m(query.pitch_nm), rows=query.rows,
         cols=query.cols, ecc=query.ecc, workload=query.pattern,
         vp=query.vp, nominal_wer=query.nominal_wer,
-        sampler=query.sampler)
+        sampler=query.sampler, backend=query.backend)
     if query.mode == "expected":
         rates = engine.expected_rates(rng=query.seed)
         publish(1, 1)
@@ -103,6 +103,9 @@ def run_uber(query, abort, publish):
                         progress=_progress(abort, publish))
     return json_safe({
         "mode": "sampled",
+        # The *resolved* backend, so a client that asked for numba can
+        # see when the server fell back to the numpy reference.
+        "backend": engine.backend.name,
         "uber": result.uber,
         "raw_ber": result.raw_ber,
         "word_fail_rate": result.word_fail_rate,

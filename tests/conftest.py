@@ -21,7 +21,8 @@ def _hermetic_environment():
     (tests that exercise them set them explicitly via monkeypatch).
     """
     saved = {}
-    for name in ("REPRO_KERNEL_CACHE", "REPRO_SWEEP_EXECUTOR"):
+    for name in ("REPRO_KERNEL_CACHE", "REPRO_SWEEP_EXECUTOR",
+                 "REPRO_ENGINE_BACKEND"):
         saved[name] = os.environ.pop(name, None)
     yield
     for name, value in saved.items():

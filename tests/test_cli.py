@@ -83,6 +83,16 @@ class TestCommands:
         assert "raw BER (pre-ECC)" in out
         assert "pitch sweep skipped" in out
 
+    def test_memsys_profile_breakdown(self, capsys):
+        assert main(["memsys", "--seed", "3", "--rows", "16",
+                     "--cols", "16", "--transactions", "1000",
+                     "--sampler", "binomial", "--profile",
+                     "--no-sweep"]) == 0
+        out = capsys.readouterr().out
+        assert "phase wall-time breakdown" in out
+        for phase in ("draw", "place", "total"):
+            assert phase in out
+
     def test_memsys_preset_overlays_defaults(self):
         from repro.cli import _apply_memsys_preset, build_parser
         args = build_parser().parse_args(

@@ -168,3 +168,59 @@ class TestExpectationMode:
         from repro.experiments.runner import render
         text = render(exp, plot=False)
         assert "raw BER" in text
+
+
+class TestPhaseProfile:
+    def _counters(self, result):
+        return (result.raw_bit_errors, result.write_errors,
+                result.disturb_flips, result.retention_flips,
+                result.uncorrectable_bit_errors, result.words_ok)
+
+    @pytest.mark.parametrize("sampler", ["bernoulli", "binomial"])
+    def test_profile_breakdown_attached(self, device, sampler):
+        engine = build_engine(device, pitch=70e-9, rows=16, cols=16,
+                              sampler=sampler)
+        result = engine.run(2000, rng=4, profile=True)
+        profile = result.extras["profile"]
+        assert set(profile) - {"other", "total"} <= {
+            "classify", "draw", "place", "ecc", "scrub"}
+        assert profile["total"] > 0
+        for seconds in profile.values():
+            assert seconds >= 0.0
+        # Phases partition the run: their sum plus "other" is total.
+        phases = sum(v for k, v in profile.items() if k != "total")
+        assert phases == pytest.approx(profile["total"], rel=1e-6)
+
+    def test_profile_does_not_change_draw_stream(self, device):
+        engine = build_engine(device, pitch=70e-9, rows=16, cols=16,
+                              sampler="binomial",
+                              scrub=ScrubPolicy(5e-4))
+        plain = engine.run(3000, rng=9)
+        profiled = engine.run(3000, rng=9, profile=True)
+        assert self._counters(plain) == self._counters(profiled)
+        assert "profile" not in plain.extras
+        assert "profile" in profiled.extras
+
+    def test_scrub_phase_recorded(self, device):
+        engine = build_engine(device, pitch=70e-9, rows=16, cols=16,
+                              sampler="binomial",
+                              scrub=ScrubPolicy(1e-5))
+        result = engine.run(3000, rng=2, profile=True)
+        assert result.n_scrubs > 0
+        assert result.extras["profile"]["scrub"] > 0.0
+
+    def test_nested_phases_book_exclusive_time(self):
+        import time as time_mod
+
+        from repro.memsys.engine import PhaseProfiler
+
+        profiler = PhaseProfiler()
+        with profiler.phase("scrub"):
+            time_mod.sleep(0.01)
+            with profiler.phase("draw"):
+                time_mod.sleep(0.01)
+            time_mod.sleep(0.01)
+        assert profiler.seconds["draw"] >= 0.01
+        assert profiler.seconds["scrub"] >= 0.02
+        # The inner phase's time is not double-counted in the outer.
+        assert profiler.seconds["scrub"] < 0.035

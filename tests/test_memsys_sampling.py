@@ -94,6 +94,20 @@ class TestBitPlane:
         assert np.array_equal(popcount_rows(lanes),
                               _popcount_rows_table(lanes))
 
+    def test_popcount_table_wide_and_degenerate_rows(self):
+        """Both accumulation strategies (column loop for narrow rows,
+        one gather past 32 byte columns) and the empty edge agree."""
+        rng = np.random.default_rng(5)
+        for n_lanes in (1, 4, 5, 16):
+            lanes = rng.integers(0, 2**63,
+                                 size=(20, n_lanes)).astype(np.uint64)
+            expect = [bin(int(v)).count("1") for row in lanes
+                      for v in [sum(int(x) << (64 * i)
+                                    for i, x in enumerate(row))]]
+            assert np.array_equal(_popcount_rows_table(lanes), expect)
+        empty = np.zeros((0, 2), dtype=np.uint64)
+        assert _popcount_rows_table(empty).shape == (0,)
+
     def test_too_many_words_raises(self):
         with pytest.raises(ParameterError):
             BitPlane(n_words=3, code_bits=72, n_cells=100)
