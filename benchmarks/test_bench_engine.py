@@ -24,10 +24,15 @@ the same chip-1024 binomial workload (skipped cleanly otherwise), and
 the popcount byte-table fallback's narrow-row column loop must not
 regress against the one-shot gather it replaced.
 
+A third axis is the array topology: on machines with >= 4 cores the
+chip-1024 array reorganized as 2 banks x 2 subarrays must run its four
+sub-runs on a process pool >= 2x faster than the flat single-stream
+engine at the same operating point.
+
 Every run's throughput lands in ``BENCH_memsys.json`` (repo root, or
-``$REPRO_BENCH_OUT``) as a trajectory over array size, sampler, and
-backend; CI uploads the file as an artifact so regressions leave a
-trace.
+``$REPRO_BENCH_OUT``) as a trajectory over array size, sampler,
+backend, and topology; CI uploads the file as an artifact so
+regressions leave a trace.
 """
 
 import json
@@ -47,6 +52,10 @@ SPEEDUP_FLOOR = 10.0
 
 #: Floor asserted on the 1024 x 1024 numba-vs-numpy backend ratio.
 BACKEND_SPEEDUP_FLOOR = 5.0
+
+#: Floor asserted on the 4-shard banked chip over the flat engine when
+#: the shards fan out over a process pool (requires >= 4 cores).
+TOPOLOGY_SPEEDUP_FLOOR = 2.0
 
 TRANSACTIONS = 1_000_000
 BATCH_SIZE = 2048
@@ -274,6 +283,71 @@ def test_popcount_table_narrow_rows_not_slower():
           f"column loop {t_column * 1e3:.3f}ms -> {ratio:.2f}x")
     assert ratio >= 0.9, (
         f"column-loop popcount regressed to {ratio:.2f}x of the gather")
+
+
+def test_banked_process_speedup_chip_1024(device):
+    """4-shard banked chip >= 2x over flat on a process pool.
+
+    The chip-1024 preset's array reorganized as 2 banks x 2 subarrays
+    runs its four 512 x 512 sub-runs concurrently on the process
+    executor; against the flat single-stream engine at the identical
+    operating point that must buy >= 2x wall-clock once four cores are
+    available. Skipped on smaller machines — with fewer cores the pool
+    serializes and only measures pickling overhead.
+
+    The bernoulli sampler keeps per-batch work proportional to cells,
+    so the sharded sub-arrays genuinely have 1/4 of the per-stream
+    work — the regime banking targets (the binomial path is already
+    near size-independent, so sharding cannot help it much).
+    """
+    if (os.cpu_count() or 1) < 4:
+        pytest.skip("needs >= 4 cores for a meaningful process fan-out")
+
+    n = 200_000
+    flat = _engine(device, 1024, "bernoulli")
+    t_flat, r_flat = _timed_run(flat, n=n)
+
+    banked = build_engine(
+        device, pitch=70e-9, rows=1024, cols=1024, ecc="secded",
+        workload=StressPatternWorkload("checkerboard",
+                                       read_fraction=0.9),
+        nominal_wer=1e-6, sampler="bernoulli", topology="banked",
+        banks=2, subarrays=2)
+    t0 = time.perf_counter()
+    r_banked = banked.run(n, rng=SEED, batch_size=BATCH_SIZE,
+                          executor="process", jobs=4)
+    t_banked = time.perf_counter() - t0
+
+    speedup = t_flat / t_banked
+    # Record before asserting so a floor miss still leaves the artifact.
+    _merge_bench(
+        {"topology_speedup_1024": {
+            "flat_s": round(t_flat, 4),
+            "banked_s": round(t_banked, 4),
+            "speedup": round(speedup, 2),
+            "floor": TOPOLOGY_SPEEDUP_FLOOR,
+        }},
+        [{"sampler": "bernoulli", "backend": r_banked.config["backend"],
+          "topology": "banked", "banks": 2, "subarrays": 2,
+          "executor": "process", "rows": 1024, "cols": 1024,
+          "transactions": n, "batch_size": BATCH_SIZE,
+          "nominal_wer": 1e-6, "seconds": round(t_banked, 4),
+          "txn_per_s": round(n / t_banked, 1)}])
+    print(f"\n1024x1024 bernoulli, {n} txn: flat {t_flat:.2f}s, "
+          f"banked 2x2/process {t_banked:.2f}s -> {speedup:.1f}x")
+
+    assert r_banked.n_transactions == n
+    assert r_banked.config["topology"] == "banked"
+    for counter in ("write_errors", "disturb_flips",
+                    "retention_flips", "raw_bit_errors"):
+        a = getattr(r_flat, counter)
+        b = getattr(r_banked, counter)
+        tol = 6.0 * np.sqrt(a + b + 1.0) + 25.0
+        assert abs(a - b) <= tol, (counter, a, b)
+
+    assert speedup >= TOPOLOGY_SPEEDUP_FLOOR, (
+        f"banked process fan-out only {speedup:.1f}x over flat "
+        f"(floor {TOPOLOGY_SPEEDUP_FLOOR}x)")
 
 
 def test_binomial_throughput_scales_with_array_size(device):

@@ -140,7 +140,8 @@ MEMSYS_PRESETS = {
                       pattern="read-heavy", no_sweep=True),
     "chip-1024": dict(rows=1024, cols=1024, transactions=1_000_000,
                       nominal_wer=1e-6, sampler="binomial",
-                      pattern="read-heavy", no_sweep=True),
+                      pattern="read-heavy", no_sweep=True,
+                      topology="banked", banks=4, subarrays=4),
 }
 
 #: Baseline values of every preset-controlled ``memsys`` flag. The
@@ -149,7 +150,8 @@ MEMSYS_PRESETS = {
 #: one; :func:`_apply_memsys_preset` resolves the precedence.
 _MEMSYS_DEFAULTS = dict(rows=64, cols=64, transactions=50_000,
                         nominal_wer=2e-3, sampler="bernoulli",
-                        pattern="random", no_sweep=False)
+                        pattern="random", no_sweep=False,
+                        topology="flat", banks=1, subarrays=1)
 
 
 def _apply_memsys_preset(args):
@@ -163,16 +165,23 @@ def _apply_memsys_preset(args):
 def _cmd_memsys(args):
     from .memsys import ScrubPolicy, build_engine, uber_sweep
     from .memsys.sweeps import SWEEP_HEADERS
+    from .memsys.topology import TopologyEngine
     _apply_memsys_preset(args)
     device = MTJDevice(PAPER_EVAL_DEVICE)
     rng = _generator(args)
     scrub = (ScrubPolicy(args.scrub_interval)
              if args.scrub_interval else None)
+    topology_kwargs = {}
+    if args.topology != "flat" or args.banks != 1 or args.subarrays != 1:
+        topology_kwargs = dict(topology=args.topology,
+                               banks=args.banks,
+                               subarrays=args.subarrays)
     engine = build_engine(
         device, pitch=nm_to_m(args.pitch_nm), rows=args.rows,
         cols=args.cols, ecc=args.ecc, workload=args.pattern,
         scrub=scrub, vp=args.vp, nominal_wer=args.nominal_wer,
-        sampler=args.sampler, backend=args.backend)
+        read_voltage=args.read_voltage, sampler=args.sampler,
+        backend=args.backend, **topology_kwargs)
     config = engine.controller.describe()
     print(f"memsys: {args.rows}x{args.cols} array at "
           f"{args.pitch_nm:g} nm pitch, {args.pattern} traffic, "
@@ -180,9 +189,20 @@ def _cmd_memsys(args):
           f"({engine.backend.name} backend), write pulses trimmed to "
           f"{config['t_pulse0_ns']:.1f}/{config['t_pulse1_ns']:.1f} ns "
           f"(nominal WER {args.nominal_wer:g})")
+    if isinstance(engine, TopologyEngine):
+        topo = engine.topology
+        print(f"topology: {topo.kind}, {topo.banks} banks x "
+              f"{topo.subarrays} subarrays "
+              f"({topo.sub_rows}x{topo.sub_cols} cells per shard, "
+              f"{topo.n_shards} parallel sub-runs)")
     print()
-    result = engine.run(args.transactions, rng=rng,
-                        profile=args.profile)
+    if isinstance(engine, TopologyEngine):
+        result = engine.run(args.transactions, rng=rng,
+                            profile=args.profile,
+                            executor=args.executor, jobs=args.jobs)
+    else:
+        result = engine.run(args.transactions, rng=rng,
+                            profile=args.profile)
     headers, rows = result.summary_rows()
     print(format_table(headers, rows))
     print()
@@ -208,8 +228,10 @@ def _cmd_memsys(args):
                            seed=seed, jobs=args.jobs,
                            executor=args.executor, vp=args.vp,
                            nominal_wer=args.nominal_wer,
+                           read_voltage=args.read_voltage,
                            sampler=args.sampler,
-                           backend=args.backend)
+                           backend=args.backend,
+                           **topology_kwargs)
         print("pitch sweep (expectation mode; UBER of the worst-case "
               "data pattern rises as pitch shrinks):")
         print(format_table(SWEEP_HEADERS, sweep.rows,
@@ -429,6 +451,20 @@ def build_parser():
                    help=f"default {_MEMSYS_DEFAULTS['rows']}")
     p.add_argument("--cols", type=int, default=None,
                    help=f"default {_MEMSYS_DEFAULTS['cols']}")
+    p.add_argument("--topology", default=None,
+                   choices=("flat", "banked", "cross-point"),
+                   help="array organization: one 'flat' mat "
+                        "(default), 'banked' banks x subarrays "
+                        "(each subarray an independent parallel "
+                        "sub-run), or selector-less 'cross-point' "
+                        "with the sneak-path half-select disturb "
+                        "term")
+    p.add_argument("--banks", type=int, default=None,
+                   help="banks tiling the rows (banked/cross-point; "
+                        f"default {_MEMSYS_DEFAULTS['banks']})")
+    p.add_argument("--subarrays", type=int, default=None,
+                   help="subarrays tiling the columns per bank "
+                        f"(default {_MEMSYS_DEFAULTS['subarrays']})")
     p.add_argument("--transactions", type=int, default=None,
                    help=f"default {_MEMSYS_DEFAULTS['transactions']}")
     p.add_argument("--vp", type=float, default=0.95)
@@ -438,6 +474,10 @@ def build_parser():
                         ", an accelerated-stress corner; production "
                         "parts trim to <= 1e-6 — use --sampler "
                         "binomial there)")
+    p.add_argument("--read-voltage", type=float, default=0.15,
+                   help="read bias [V] (default 0.15; raising it "
+                        "stresses read disturb and, on cross-point "
+                        "arrays, half-select sneak flips)")
     p.add_argument("--sampler", default=None,
                    choices=sorted(SAMPLERS),
                    help="Monte-Carlo draw strategy: per-cell "

@@ -1,4 +1,4 @@
-"""1T-1R write-path model: the access device in series with the MTJ.
+"""1T-1R access-path model: the access device in series with the MTJ.
 
 The paper's test structures are 0T1R (direct probing), but its
 conclusions target product arrays, which are 1T-1R: a select transistor
@@ -8,6 +8,12 @@ the two write directions. This module models that divider with a simple
 linear on-resistance access device and solves the nonlinear operating
 point by fixed-point iteration, so switching-time analyses can be run
 against the *cell terminal* voltage instead of the MTJ voltage.
+
+The same series divider governs the read path:
+:class:`repro.memsys.sense.SenseMarginModel` puts the identical
+:class:`AccessTransistor` in the sense branch, where the bias-dependent
+AP resistance sets the read operating point and the margin to the
+reference.
 """
 
 from __future__ import annotations
@@ -26,7 +32,7 @@ class AccessTransistor:
     Parameters
     ----------
     r_on:
-        On-resistance [Ohm] in the write-selected state.
+        On-resistance [Ohm] in the selected state (write or read).
     """
 
     r_on: float

@@ -24,6 +24,14 @@ mechanisms — write error, read disturb, retention — into one number.
 * :mod:`repro.memsys.backends` — pluggable compute backends for the
   fast path's hot kernels (``"numpy"`` reference / JIT ``"numba"``,
   selected per engine or via ``REPRO_ENGINE_BACKEND``),
+* :mod:`repro.memsys.topology` — banks x subarrays array topology:
+  hierarchical address map, per-subarray traffic sharding with
+  spawned per-shard RNGs (subarray-parallel through the sweep
+  executors), and the selector-less cross-point variant with its
+  sneak-path disturb term,
+* :mod:`repro.memsys.sense` — sense-margin read model: resistance
+  spread through the access-transistor divider folded into the
+  read-disturb tables as a misread probability,
 * :mod:`repro.memsys.sweeps` — pitch x pattern x ECC sweeps: the
   paper's density axis carried to the system level.
 
@@ -58,7 +66,12 @@ from .ecc import (
     make_ecc,
 )
 from .bitplane import BitPlane
-from .engine import MemsysResult, ReliabilityEngine, build_engine
+from .engine import (
+    MemsysResult,
+    ReliabilityEngine,
+    build_engine,
+    merge_results,
+)
 from .sampling import (
     IncrementalClassMaps,
     N_CLASSES,
@@ -67,7 +80,15 @@ from .sampling import (
     sample_class_flips,
 )
 from .scrub import ScrubPolicy, no_scrub
+from .sense import SenseMarginModel
 from .sweeps import secded_margin_pitch, uber_sweep
+from .topology import (
+    ArrayTopology,
+    HierarchicalAddressMap,
+    TOPOLOGIES,
+    TopologyEngine,
+    normalize_topology,
+)
 from .traffic import (
     HotSpotWorkload,
     SequentialWorkload,
@@ -80,12 +101,14 @@ from .traffic import (
 
 __all__ = [
     "ArrayController",
+    "ArrayTopology",
     "BACKENDS",
     "BitPlane",
     "DecodeOutcome",
     "ENGINE_BACKEND_ENV",
     "ECC_SCHEMES",
     "HammingSECDED",
+    "HierarchicalAddressMap",
     "HotSpotWorkload",
     "IncrementalClassMaps",
     "MemsysResult",
@@ -94,8 +117,11 @@ __all__ = [
     "ReliabilityEngine",
     "SAMPLERS",
     "ScrubPolicy",
+    "SenseMarginModel",
     "SequentialWorkload",
     "StressPatternWorkload",
+    "TOPOLOGIES",
+    "TopologyEngine",
     "TrafficBatch",
     "WORKLOADS",
     "WordMap",
@@ -104,12 +130,14 @@ __all__ = [
     "class_index",
     "get_backend",
     "make_ecc",
+    "merge_results",
     "numba_available",
     "resolve_backend",
     "sample_class_flips",
     "make_workload",
     "neighborhood_class_map",
     "no_scrub",
+    "normalize_topology",
     "secded_margin_pitch",
     "uber_sweep",
     "validate_backend",

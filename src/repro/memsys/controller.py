@@ -26,6 +26,8 @@ real arrays place at the edge.
 
 from __future__ import annotations
 
+from functools import cached_property
+
 import numpy as np
 
 from ..apps.read_disturb import ReadDisturbAnalysis
@@ -114,10 +116,19 @@ class ArrayController:
         Read-pulse operating point [V], [s].
     temperature:
         Cell temperature [K]; default is the device reference.
+    sense:
+        Optional :class:`~repro.memsys.sense.SenseMarginModel`. When
+        given, the per-state misread probability (sense margin against
+        the device's resistance spread, through the access-transistor
+        divider) is folded into the read-disturb tables — a misread is
+        booked like a read-induced flip of the sensed value, which is
+        the pessimistic choice for ECC. Default ``None`` leaves the
+        tables untouched.
     """
 
     def __init__(self, device, layout, ecc, vp=0.95, nominal_wer=2e-3,
-                 read_voltage=0.15, t_read=20e-9, temperature=None):
+                 read_voltage=0.15, t_read=20e-9, temperature=None,
+                 sense=None):
         if not isinstance(device, MTJDevice):
             raise ParameterError(
                 f"device must be an MTJDevice, got {type(device)!r}")
@@ -134,6 +145,7 @@ class ArrayController:
         self.read_voltage = float(read_voltage)
         self.t_read = float(t_read)
         self.temperature = temperature
+        self.sense = sense
         self.words = WordMap(layout, ecc.n_code)
 
         self.victim = VictimAnalysis(device, layout.pitch)
@@ -192,6 +204,17 @@ class ArrayController:
                     self.retention_rate_table[bit, nd, ng] = flip_rate(
                         self.device.delta(state, hz, self.temperature),
                         f0)
+        if self.sense is not None:
+            # Sense-margin read gating: a misread corrupts the sensed
+            # word exactly like a disturbed cell, so the per-state
+            # misread probability composes into the disturb tables as
+            # an independent failure mode.
+            p_fail = self.sense.read_failure_probability(
+                self.device, self.read_voltage)
+            for bit in (0, 1):
+                self.disturb_table[bit] = 1.0 - (
+                    (1.0 - self.disturb_table[bit])
+                    * (1.0 - float(p_fail[bit])))
 
     # -- vectorized per-cell probability maps -------------------------------
 
@@ -208,6 +231,37 @@ class ArrayController:
     def disturb_probability(self, stored_bits, nd, ng):
         """Per-cell single-read disturb probability."""
         return self.disturb_table[np.asarray(stored_bits), nd, ng]
+
+    @cached_property
+    def half_select_table(self):
+        """(2, 5, 5) single half-select disturb probability per class.
+
+        The cross-point sneak-path term (Zhao et al., arXiv:1202.1782):
+        an access puts ~half the read bias across the unselected cells
+        sharing the accessed row/column, priced with the same thermal
+        read-disturb model as a full select. Built lazily — 1T-1R
+        configurations never touch it.
+        """
+        rda = ReadDisturbAnalysis(self.device)
+        table = np.empty((2, 5, 5))
+        for bit in (0, 1):
+            state = MTJState.from_bit(bit)
+            for nd in range(5):
+                for ng in range(5):
+                    hz = float(self.class_field(nd, ng))
+                    table[bit, nd, ng] = rda.disturb_probability(
+                        state, 0.5 * self.read_voltage, self.t_read,
+                        hz)
+        return table
+
+    def half_select_probability(self, stored_bits, nd, ng, exposures):
+        """Per-cell flip probability after ``exposures`` half-selects
+        (``exposures`` may be fractional: a mean exposure count)."""
+        require_non_negative(exposures, "exposures")
+        single = np.clip(
+            self.half_select_table[np.asarray(stored_bits), nd, ng],
+            0.0, 1.0 - 1e-15)
+        return 1.0 - (1.0 - single) ** exposures
 
     def retention_flip_probability(self, stored_bits, nd, ng, interval):
         """Per-cell retention-flip probability over ``interval`` [s].
@@ -242,9 +296,17 @@ class ArrayController:
         return -np.expm1(-self.retention_rate_table.reshape(-1)
                          * interval)
 
+    def half_select_class_probability(self, exposures):
+        """Flat (50,) per-class flip probability after ``exposures``
+        half-selects (fractional exposure counts allowed)."""
+        require_non_negative(exposures, "exposures")
+        single = np.clip(self.half_select_table.reshape(-1), 0.0,
+                         1.0 - 1e-15)
+        return 1.0 - (1.0 - single) ** exposures
+
     def describe(self):
         """Summary dict (for reports and the CLI header)."""
-        return {
+        out = {
             "pitch_nm": self.layout.pitch * 1e9,
             "rows": self.layout.rows,
             "cols": self.layout.cols,
@@ -258,3 +320,6 @@ class ArrayController:
             "wer_spread": float(self.wer_table.max()
                                 / self.wer_table.min()),
         }
+        if self.sense is not None:
+            out["sense"] = self.sense.describe()
+        return out

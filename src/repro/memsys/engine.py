@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager, nullcontext
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields as dataclass_fields
 from typing import Dict
 
 import numpy as np
@@ -43,7 +43,7 @@ import numpy as np
 from ..device.mtj import MTJDevice
 from ..errors import ParameterError
 from ..experiments.base import ExperimentResult
-from ..validation import require_positive
+from ..validation import require_non_negative, require_positive
 from .backends import resolve_backend
 from .bitplane import BitPlane
 from .controller import ArrayController
@@ -138,6 +138,7 @@ class MemsysResult:
     write_errors: int = 0
     disturb_flips: int = 0
     retention_flips: int = 0
+    sneak_flips: int = 0
     raw_bit_errors: int = 0
     uncorrectable_bit_errors: int = 0
     words_ok: int = 0
@@ -183,6 +184,7 @@ class MemsysResult:
             ("write errors injected", self.write_errors),
             ("read-disturb flips", self.disturb_flips),
             ("retention flips", self.retention_flips),
+            ("half-select sneak flips", self.sneak_flips),
             ("scrubs (corrected words)",
              f"{self.n_scrubs} ({self.scrub_corrected_words})"),
         ]
@@ -204,6 +206,48 @@ class MemsysResult:
                     "uber": self.uber,
                     "word_fail_rate": self.word_fail_rate},
         )
+
+
+def merge_results(results, config=None):
+    """Merge per-shard (or per-chunk) results into one aggregate.
+
+    Every counter field sums; ``simulated_time`` takes the maximum
+    (shards run concurrently on real hardware, so elapsed simulated
+    time is the longest shard's, not the sum). ``config`` defaults to
+    the first result's config.
+
+    Profile extras are *preserved*, not dropped: when every part
+    carries ``extras["profile"]``, the merged result carries the
+    per-phase totals summed across parts (``total`` then means
+    aggregate engine-seconds, which can exceed wall-clock on parallel
+    executors). A part without a profile poisons the merge — summing a
+    partial profile would silently under-report — so the key is only
+    present when it is complete.
+    """
+    results = list(results)
+    if not results:
+        raise ParameterError("merge_results needs at least one result")
+    for result in results:
+        if not isinstance(result, MemsysResult):
+            raise ParameterError(
+                f"results must be MemsysResult, got {type(result)!r}")
+    merged = MemsysResult(config=dict(
+        results[0].config if config is None else config))
+    for spec in dataclass_fields(MemsysResult):
+        if spec.name in ("config", "simulated_time", "extras"):
+            continue
+        setattr(merged, spec.name,
+                sum(getattr(r, spec.name) for r in results))
+    merged.simulated_time = max(r.simulated_time for r in results)
+    profiles = [r.extras.get("profile") for r in results]
+    if all(profile is not None for profile in profiles):
+        combined = {}
+        for profile in profiles:
+            for phase, seconds in profile.items():
+                combined[phase] = (combined.get(phase, 0.0)
+                                   + float(seconds))
+        merged.extras["profile"] = combined
+    return merged
 
 
 class ReliabilityEngine:
@@ -236,11 +280,19 @@ class ReliabilityEngine:
         construction; a ``numba`` request degrades to numpy (warn once)
         when numba is absent. The bernoulli reference path never uses
         it.
+    half_select_exposure:
+        Half-selects accrued per cell per transaction — the cross-point
+        sneak-path term (see :mod:`repro.memsys.topology`). Each batch
+        draws extra flips against the controller's half-select disturb
+        table with ``batch * exposure`` exposures per cell. The default
+        0 skips the draw entirely, leaving 1T-1R draw streams
+        untouched.
     """
 
     def __init__(self, controller, workload="random", scrub=None,
                  cycle_time=50e-9, writeback=True,
-                 sampler="bernoulli", backend=None):
+                 sampler="bernoulli", backend=None,
+                 half_select_exposure=0.0):
         if not isinstance(controller, ArrayController):
             raise ParameterError(
                 f"controller must be an ArrayController, got "
@@ -258,9 +310,12 @@ class ReliabilityEngine:
         self.writeback = bool(writeback)
         self.sampler = validate_sampler(sampler)
         self.backend = resolve_backend(backend)
+        require_non_negative(half_select_exposure,
+                             "half_select_exposure")
+        self.half_select_exposure = float(half_select_exposure)
 
     def _config(self):
-        return {
+        config = {
             **self.controller.describe(),
             **self.workload.describe(),
             **self.scrub.describe(),
@@ -270,6 +325,9 @@ class ReliabilityEngine:
             "sampler": self.sampler,
             "backend": self.backend.name,
         }
+        if self.half_select_exposure:
+            config["half_select_exposure"] = self.half_select_exposure
+        return config
 
     # -- Monte-Carlo mode ---------------------------------------------------
 
@@ -366,6 +424,18 @@ class ReliabilityEngine:
             with _prof(profiler, "place"):
                 actual ^= flips
             result.retention_flips += int(flips.sum())
+            if self.half_select_exposure > 0.0:
+                # Cross-point sneak term: every cell accrued ~exposure
+                # half-selects per transaction of this batch's window.
+                with _prof(profiler, "draw"):
+                    p_hs = ctl.half_select_probability(
+                        actual, nd, ng,
+                        n * self.half_select_exposure)
+                    sneak = (rng.random(actual.shape)
+                             < p_hs).astype(np.int8)
+                with _prof(profiler, "place"):
+                    actual ^= sneak
+                result.sneak_flips += int(sneak.sum())
             if self.scrub.due(now):
                 with _prof(profiler, "scrub"):
                     self._run_scrub(intended, actual, rng, result)
@@ -535,6 +605,17 @@ class ReliabilityEngine:
                 with _prof(profiler, "place"):
                     state.toggle(flips)
             result.retention_flips += int(flips.size)
+            if self.half_select_exposure > 0.0:
+                with _prof(profiler, "draw"):
+                    sneak = sample_class_flips(
+                        state.maps.class_idx,
+                        ctl.half_select_class_probability(
+                            n * self.half_select_exposure), rng,
+                        hist=state.maps.hist, backend=backend)
+                if sneak.size:
+                    with _prof(profiler, "place"):
+                        state.toggle(sneak)
+                result.sneak_flips += int(sneak.size)
             if self.scrub.due(now):
                 with _prof(profiler, "scrub"):
                     self._run_scrub_binomial(state, rng, result)
@@ -687,6 +768,10 @@ class ReliabilityEngine:
         p_ret = ctl.retention_flip_probability(
             b, nd[cells], ng[cells], self.cycle_time)
         p = 1.0 - (1.0 - p_wr) * (1.0 - p_rd) * (1.0 - p_ret)
+        if self.half_select_exposure > 0.0:
+            p_hs = ctl.half_select_probability(
+                b, nd[cells], ng[cells], self.half_select_exposure)
+            p = 1.0 - (1.0 - p) * (1.0 - p_hs)
         p = np.clip(p, 0.0, 1.0 - 1e-12)
 
         p0 = np.prod(1.0 - p, axis=1)
@@ -795,8 +880,10 @@ def build_engine(device, pitch, rows=64, cols=64, ecc="secded",
                  workload="random", data_bits=64, scrub=None,
                  vp=0.95, nominal_wer=2e-3, read_voltage=0.15,
                  t_read=20e-9, cycle_time=50e-9, temperature=None,
-                 writeback=True, sampler="bernoulli", backend=None):
-    """Convenience factory: device + knobs -> :class:`ReliabilityEngine`.
+                 writeback=True, sampler="bernoulli", backend=None,
+                 sense=None, topology=None, banks=None, subarrays=None,
+                 half_select_exposure=0.0):
+    """Convenience factory: device + knobs -> a reliability engine.
 
     ``ecc`` and ``workload`` accept registry names (see
     :data:`repro.memsys.ecc.ECC_SCHEMES` and
@@ -805,22 +892,47 @@ def build_engine(device, pitch, rows=64, cols=64, ecc="secded",
 SAMPLERS` — use ``"binomial"`` for rare-event operating points);
     ``backend`` selects the fast path's compute backend (see
     :data:`repro.memsys.backends.BACKENDS`; default consults
-    ``REPRO_ENGINE_BACKEND``, then numpy).
+    ``REPRO_ENGINE_BACKEND``, then numpy); ``sense`` optionally gates
+    reads through a :class:`~repro.memsys.sense.SenseMarginModel`.
+
+    ``topology``/``banks``/``subarrays`` select the array organization
+    (see :data:`repro.memsys.topology.TOPOLOGIES`): the default flat
+    1x1 case returns a plain :class:`ReliabilityEngine`; anything
+    sharded (or any explicit non-flat ``topology``) returns a
+    :class:`~repro.memsys.topology.TopologyEngine` over ``rows x
+    cols`` tiled into banks x subarrays.
     """
     from ..arrays.layout import ArrayLayout
     if not isinstance(device, MTJDevice):
         raise ParameterError(
             f"device must be an MTJDevice, got {type(device)!r}")
+    n_banks = 1 if banks is None else int(banks)
+    n_subarrays = 1 if subarrays is None else int(subarrays)
+    if (topology is not None and str(topology) != "flat") \
+            or n_banks != 1 or n_subarrays != 1:
+        from .topology import ArrayTopology, TopologyEngine
+        topo = ArrayTopology(
+            kind="banked" if topology is None else topology,
+            banks=n_banks, subarrays=n_subarrays, rows=rows,
+            cols=cols)
+        return TopologyEngine(
+            device, topo, pitch=pitch, ecc=ecc, workload=workload,
+            data_bits=data_bits, scrub=scrub, vp=vp,
+            nominal_wer=nominal_wer, read_voltage=read_voltage,
+            t_read=t_read, cycle_time=cycle_time,
+            temperature=temperature, writeback=writeback,
+            sampler=sampler, backend=backend, sense=sense)
     layout = ArrayLayout(pitch=pitch, rows=rows, cols=cols)
     ecc_obj = make_ecc(ecc, data_bits=data_bits) if isinstance(
         ecc, str) else ecc
     controller = ArrayController(
         device, layout, ecc_obj, vp=vp, nominal_wer=nominal_wer,
         read_voltage=read_voltage, t_read=t_read,
-        temperature=temperature)
+        temperature=temperature, sense=sense)
     return ReliabilityEngine(controller, workload=workload, scrub=scrub,
                              cycle_time=cycle_time, writeback=writeback,
-                             sampler=sampler, backend=backend)
+                             sampler=sampler, backend=backend,
+                             half_select_exposure=half_select_exposure)
 
 
 def _occurrence_rank(words):

@@ -1,0 +1,142 @@
+"""Sense-margin read model: resistance distributions -> misread rates.
+
+The engine's read-disturb tables price what the read *current does to
+the cell*; this module prices whether the sense amplifier *resolves the
+cell at all*. A 1T-1R read compares the selected branch resistance —
+MTJ in series with the access transistor — against the midpoint
+reference between the two nominal branch resistances:
+
+* the P branch is bias-independent: ``R_P = rp(ecd) + r_on``,
+* the AP branch sees the read bias *after* the access-device divider,
+  so its resistance rolls off with the applied TMR bias; the operating
+  point ``v_mtj = v_read * R_AP(v_mtj) / (R_AP(v_mtj) + r_on)`` is the
+  read-bias analogue of :meth:`repro.device.access.WritePath.\
+mtj_voltage` and is solved by the same damped fixed-point iteration.
+
+Device-to-device resistance spread (RA and TMR sigma lumped into one
+relative sigma per branch) turns the margin into a misread
+probability: a Gaussian tail ``0.5 * erfc(margin / (sigma * sqrt 2))``
+per stored state. :class:`~repro.memsys.controller.ArrayController`
+folds these probabilities into its per-class read-disturb tables
+(``sense=`` parameter), so a misread is booked exactly like a
+read-induced flip — pessimistic for ECC, since a misread corrupts the
+sensed word the same way a disturbed cell does.
+
+Both margins shrink monotonically as the read voltage grows (the TMR
+roll-off pulls ``R_AP`` toward ``R_P``) and grow monotonically with the
+zero-bias TMR — the property tests assert exactly that.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..device.access import AccessTransistor
+from ..device.mtj import MTJDevice
+from ..device.resistance import ResistanceModel
+from ..errors import ParameterError, SimulationError
+from ..validation import require_in_range, require_positive
+
+_SQRT2 = math.sqrt(2.0)
+
+
+def read_bias_voltage(resistance, ecd, v_read, r_on, tolerance=1e-12,
+                      max_iterations=200):
+    """MTJ terminal voltage [V] of an AP-state read at ``v_read``.
+
+    Solves ``v = v_read * R_AP(v) / (R_AP(v) + r_on)`` by damped
+    fixed-point iteration; monotone in ``v_read`` for the physical
+    parameter range (the AP resistance only shrinks with bias).
+    """
+    require_positive(v_read, "v_read")
+    require_positive(r_on, "r_on")
+    v = 0.7 * v_read
+    for _ in range(max_iterations):
+        r = resistance.rap(ecd, v)
+        v_next = v_read * r / (r + r_on)
+        if abs(v_next - v) < tolerance:
+            return v_next
+        v = 0.5 * (v + v_next)
+    raise SimulationError(
+        f"read-path operating point did not converge at "
+        f"v_read={v_read} V")
+
+
+@dataclass(frozen=True)
+class SenseMarginModel:
+    """Midpoint-reference sense amplifier over a 1T-1R branch.
+
+    Parameters
+    ----------
+    access:
+        :class:`~repro.device.access.AccessTransistor` in series with
+        the MTJ on the read path.
+    sigma_r:
+        Relative (sigma / R) device-to-device spread of each branch
+        resistance — RA and TMR variation lumped into one Gaussian
+        width. Must lie in (0, 1).
+    """
+
+    access: AccessTransistor
+    sigma_r: float = 0.03
+
+    def __post_init__(self):
+        if not isinstance(self.access, AccessTransistor):
+            raise ParameterError(
+                f"access must be an AccessTransistor, got "
+                f"{type(self.access)!r}")
+        require_in_range(self.sigma_r, "sigma_r", 0.0, 1.0,
+                         inclusive=False)
+
+    # -- pure resistance-level API (what the property tests drive) ----------
+
+    def branch_resistances(self, resistance, ecd, read_voltage):
+        """``(R_P, R_AP)`` series branch resistances [Ohm] at the read
+        operating point (AP evaluated at its divider bias)."""
+        if not isinstance(resistance, ResistanceModel):
+            raise ParameterError(
+                f"resistance must be a ResistanceModel, got "
+                f"{type(resistance)!r}")
+        r_on = self.access.r_on
+        v_ap = read_bias_voltage(resistance, ecd, read_voltage, r_on)
+        return (resistance.rp(ecd) + r_on,
+                resistance.rap(ecd, v_ap) + r_on)
+
+    def margins(self, resistance, ecd, read_voltage):
+        """Normalized sense margins ``(m_P, m_AP)`` per stored state.
+
+        Each margin is the distance from the branch resistance to the
+        midpoint reference, relative to the branch's own resistance —
+        i.e. in units of that branch's sigma when divided by
+        ``sigma_r``. Both are positive whenever the two states are
+        distinguishable at all.
+        """
+        r_p, r_ap = self.branch_resistances(resistance, ecd,
+                                            read_voltage)
+        r_ref = 0.5 * (r_p + r_ap)
+        return (r_ref - r_p) / r_p, (r_ap - r_ref) / r_ap
+
+    # -- device-level API (what the controller consumes) ---------------------
+
+    def read_failure_probability(self, device, read_voltage):
+        """Per-stored-bit misread probability, shape ``(2,)``.
+
+        Index 0 is a stored P (data 0) sensed above the reference,
+        index 1 a stored AP (data 1) sensed below it — the Gaussian
+        tail of the branch resistance crossing the midpoint.
+        """
+        if not isinstance(device, MTJDevice):
+            raise ParameterError(
+                f"device must be an MTJDevice, got {type(device)!r}")
+        m_p, m_ap = self.margins(device.params.resistance,
+                                 device.params.ecd, read_voltage)
+        scale = self.sigma_r * _SQRT2
+        return np.array([0.5 * math.erfc(m_p / scale),
+                         0.5 * math.erfc(m_ap / scale)])
+
+    def describe(self):
+        """Summary dict (folded into the controller's config)."""
+        return {"r_on": self.access.r_on, "sigma_r": self.sigma_r}

@@ -28,6 +28,13 @@ numpy reference anyway — but the kwarg travels to every worker as a
 plain registry *name*, so distributed workers resolve it (or the
 ``REPRO_ENGINE_BACKEND`` environment) in their own process, falling
 back to numpy wherever numba is missing.
+
+Topology contract: ``topology=``/``banks=``/``subarrays=`` ride
+``engine_kwargs`` into :func:`~repro.memsys.engine.build_engine`, so a
+sweep can price a banked or cross-point organization point-for-point
+(each point evaluates the sharded expectation of
+:meth:`~repro.memsys.topology.TopologyEngine.expected_rates`); a 1x1
+banked grid is bit-identical to the flat grid.
 """
 
 from __future__ import annotations

@@ -95,6 +95,12 @@ class UberQuery:
     ``"numba"``); ``None`` lets the server resolve its own
     ``REPRO_ENGINE_BACKEND`` environment. Sampled responses report the
     backend the run actually used.
+
+    ``topology``/``banks``/``subarrays`` select the array organization
+    (see :data:`repro.memsys.topology.TOPOLOGIES`): non-flat queries
+    shard the run across banks x subarrays sub-runs. The wire accepts
+    both ``cross-point`` and ``cross_point``; the name normalizes at
+    parse time so both spellings share one fingerprint.
     """
 
     op = "uber"
@@ -112,6 +118,9 @@ class UberQuery:
     transactions: int = 50_000
     seed: int = 0
     ecd_nm: float | None = None
+    topology: str = "flat"
+    banks: int = 1
+    subarrays: int = 1
 
     def __post_init__(self):
         require_positive(self.pitch_nm, "pitch_nm")
@@ -119,6 +128,23 @@ class UberQuery:
         require_int_in_range(self.cols, "cols", 1, 1 << 16)
         require_positive(self.vp, "vp")
         require_positive(self.nominal_wer, "nominal_wer")
+        from ..memsys.topology import normalize_topology
+        object.__setattr__(self, "topology",
+                           normalize_topology(self.topology))
+        require_int_in_range(self.banks, "banks", 1, 4096)
+        require_int_in_range(self.subarrays, "subarrays", 1, 4096)
+        if self.topology == "flat" and (self.banks != 1
+                                        or self.subarrays != 1):
+            raise ParameterError(
+                "flat topology has exactly one bank and one subarray")
+        if self.rows % self.banks:
+            raise ParameterError(
+                f"rows={self.rows} is not divisible by "
+                f"banks={self.banks}")
+        if self.cols % self.subarrays:
+            raise ParameterError(
+                f"cols={self.cols} is not divisible by "
+                f"subarrays={self.subarrays}")
         if self.mode not in ("expected", "sampled"):
             raise ParameterError(
                 f"mode must be 'expected' or 'sampled', got "

@@ -93,7 +93,9 @@ def run_uber(query, abort, publish):
         device, pitch=nm_to_m(query.pitch_nm), rows=query.rows,
         cols=query.cols, ecc=query.ecc, workload=query.pattern,
         vp=query.vp, nominal_wer=query.nominal_wer,
-        sampler=query.sampler, backend=query.backend)
+        sampler=query.sampler, backend=query.backend,
+        topology=query.topology, banks=query.banks,
+        subarrays=query.subarrays)
     if query.mode == "expected":
         rates = engine.expected_rates(rng=query.seed)
         publish(1, 1)
@@ -112,6 +114,7 @@ def run_uber(query, abort, publish):
         "n_transactions": result.n_transactions,
         "n_reads": result.n_reads,
         "n_writes": result.n_writes,
+        "sneak_flips": result.sneak_flips,
         "raw_bit_errors": result.raw_bit_errors,
         "uncorrectable_bit_errors": result.uncorrectable_bit_errors,
         "words_corrected": result.words_corrected,

@@ -104,8 +104,42 @@ class TestCommands:
         assert args.sampler == "binomial"
         assert args.nominal_wer == 1e-6
         assert args.no_sweep is True
+        assert args.topology == "banked"
+        assert args.banks == args.subarrays == 4
         # ...but explicit flags win.
         assert args.transactions == 5000
+
+    def test_memsys_banked_run(self, capsys):
+        assert main(["memsys", "--seed", "2", "--rows", "32",
+                     "--cols", "32", "--transactions", "2000",
+                     "--topology", "banked", "--banks", "2",
+                     "--subarrays", "2", "--no-sweep"]) == 0
+        out = capsys.readouterr().out
+        assert "topology: banked, 2 banks x 2 subarrays" in out
+        assert "4 parallel sub-runs" in out
+        assert "raw BER (pre-ECC)" in out
+
+    def test_memsys_banked_1x1_matches_flat(self, capsys):
+        argv = ["memsys", "--seed", "2", "--rows", "16", "--cols",
+                "16", "--transactions", "1000", "--no-sweep"]
+        assert main(argv) == 0
+        flat = capsys.readouterr().out
+        assert main(argv + ["--topology", "banked"]) == 0
+        banked = capsys.readouterr().out
+        # Identical physics modulo the extra topology line.
+        stripped = "\n".join(line for line in banked.splitlines()
+                             if not line.startswith("topology:"))
+        assert stripped.strip() == flat.strip()
+
+    def test_memsys_cross_point_reports_sneak(self, capsys):
+        assert main(["memsys", "--seed", "9", "--rows", "32",
+                     "--cols", "32", "--transactions", "20000",
+                     "--topology", "cross-point", "--banks", "2",
+                     "--subarrays", "2", "--read-voltage", "0.3",
+                     "--no-sweep"]) == 0
+        out = capsys.readouterr().out
+        assert "topology: cross_point" in out
+        assert "half-select sneak flips" in out
 
     def test_memsys_preset_runs(self, capsys):
         assert main(["memsys", "--preset", "stress", "--seed", "1",

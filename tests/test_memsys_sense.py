@@ -1,0 +1,179 @@
+"""Tests for the sense-margin read model.
+
+Unit tests pin the operating-point solver and the misread tail; the
+hypothesis properties assert the module's two monotonicity claims —
+both margins *shrink* as the read voltage grows (TMR roll-off) and
+*grow* with the zero-bias TMR — across the physical parameter range.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.device.access import AccessTransistor
+from repro.device.resistance import ResistanceModel
+from repro.errors import ParameterError
+from repro.arrays.layout import ArrayLayout
+from repro.memsys import SenseMarginModel, build_engine
+from repro.memsys.controller import ArrayController
+from repro.memsys.ecc import make_ecc
+from repro.memsys.sense import read_bias_voltage
+
+
+@pytest.fixture(scope="module")
+def device():
+    from repro.device import MTJDevice, PAPER_EVAL_DEVICE
+    return MTJDevice(PAPER_EVAL_DEVICE)
+
+
+RESISTANCE = ResistanceModel(ra=6.4e-12, tmr0=1.5, v_half=0.55)
+ECD = 35e-9
+ACCESS = AccessTransistor(r_on=2e3)
+
+
+class TestReadBiasVoltage:
+    def test_divider_brackets_the_bias(self):
+        v = read_bias_voltage(RESISTANCE, ECD, 0.15, ACCESS.r_on)
+        assert 0.0 < v < 0.15
+        # Self-consistency of the fixed point.
+        r = RESISTANCE.rap(ECD, v)
+        assert v == pytest.approx(0.15 * r / (r + ACCESS.r_on),
+                                  abs=1e-10)
+
+    def test_monotone_in_read_voltage(self):
+        biases = [read_bias_voltage(RESISTANCE, ECD, v, ACCESS.r_on)
+                  for v in (0.05, 0.15, 0.3, 0.5)]
+        assert biases == sorted(biases)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ParameterError):
+            read_bias_voltage(RESISTANCE, ECD, 0.0, ACCESS.r_on)
+        with pytest.raises(ParameterError):
+            read_bias_voltage(RESISTANCE, ECD, 0.15, -1.0)
+
+
+class TestSenseMarginModel:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            SenseMarginModel(access=object())
+        with pytest.raises(ParameterError):
+            SenseMarginModel(access=ACCESS, sigma_r=0.0)
+        with pytest.raises(ParameterError):
+            SenseMarginModel(access=ACCESS, sigma_r=1.0)
+
+    def test_branch_order(self):
+        sense = SenseMarginModel(access=ACCESS)
+        r_p, r_ap = sense.branch_resistances(RESISTANCE, ECD, 0.15)
+        assert r_ap > r_p > ACCESS.r_on
+        with pytest.raises(ParameterError):
+            sense.branch_resistances(object(), ECD, 0.15)
+
+    def test_margins_positive(self):
+        sense = SenseMarginModel(access=ACCESS)
+        m_p, m_ap = sense.margins(RESISTANCE, ECD, 0.15)
+        assert m_p > 0 and m_ap > 0
+
+    def test_failure_probability_shape_and_range(self, device):
+        sense = SenseMarginModel(access=ACCESS, sigma_r=0.08)
+        p = sense.read_failure_probability(device, 0.15)
+        assert p.shape == (2,)
+        assert np.all((p > 0) & (p < 0.5))
+        # The AP branch loses margin to the TMR roll-off first.
+        assert p[1] > p[0]
+        with pytest.raises(ParameterError):
+            sense.read_failure_probability(object(), 0.15)
+
+    def test_failure_grows_with_read_voltage(self, device):
+        sense = SenseMarginModel(access=ACCESS, sigma_r=0.08)
+        low = sense.read_failure_probability(device, 0.1)
+        high = sense.read_failure_probability(device, 0.4)
+        assert np.all(high >= low)
+        assert high[1] > low[1]
+
+    def test_wider_spread_fails_more(self, device):
+        tight = SenseMarginModel(access=ACCESS, sigma_r=0.03)
+        loose = SenseMarginModel(access=ACCESS, sigma_r=0.12)
+        assert np.all(
+            loose.read_failure_probability(device, 0.15)
+            >= tight.read_failure_probability(device, 0.15))
+
+    def test_describe(self):
+        sense = SenseMarginModel(access=ACCESS, sigma_r=0.05)
+        assert sense.describe() == {"r_on": 2e3, "sigma_r": 0.05}
+
+
+_voltages = st.floats(min_value=0.05, max_value=0.5)
+_tmrs = st.floats(min_value=0.3, max_value=3.0)
+
+
+class TestMonotonicityProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(v_lo=_voltages, v_hi=_voltages)
+    def test_margins_shrink_with_read_voltage(self, v_lo, v_hi):
+        if v_lo > v_hi:
+            v_lo, v_hi = v_hi, v_lo
+        sense = SenseMarginModel(access=ACCESS)
+        lo = sense.margins(RESISTANCE, ECD, v_lo)
+        hi = sense.margins(RESISTANCE, ECD, v_hi)
+        assert hi[0] <= lo[0] + 1e-12
+        assert hi[1] <= lo[1] + 1e-12
+
+    @settings(max_examples=50, deadline=None)
+    @given(tmr_lo=_tmrs, tmr_hi=_tmrs, v=_voltages)
+    def test_margins_grow_with_tmr(self, tmr_lo, tmr_hi, v):
+        if tmr_lo > tmr_hi:
+            tmr_lo, tmr_hi = tmr_hi, tmr_lo
+        sense = SenseMarginModel(access=ACCESS)
+        lo = sense.margins(
+            ResistanceModel(ra=6.4e-12, tmr0=tmr_lo, v_half=0.55),
+            ECD, v)
+        hi = sense.margins(
+            ResistanceModel(ra=6.4e-12, tmr0=tmr_hi, v_half=0.55),
+            ECD, v)
+        assert hi[0] >= lo[0] - 1e-12
+        assert hi[1] >= lo[1] - 1e-12
+
+    @settings(max_examples=30, deadline=None)
+    @given(v=_voltages, tmr=_tmrs)
+    def test_margins_stay_positive(self, v, tmr):
+        sense = SenseMarginModel(access=ACCESS)
+        m_p, m_ap = sense.margins(
+            ResistanceModel(ra=6.4e-12, tmr0=tmr, v_half=0.55),
+            ECD, v)
+        assert m_p > 0 and m_ap > 0
+
+
+class TestControllerFold:
+    def test_disturb_tables_absorb_misreads(self, device):
+        layout = ArrayLayout(pitch=70e-9, rows=16, cols=16)
+        baseline = ArrayController(device, layout, make_ecc("secded"))
+        sense = SenseMarginModel(access=ACCESS, sigma_r=0.08)
+        gated = ArrayController(device, layout, make_ecc("secded"),
+                                sense=sense)
+        assert np.all(gated.disturb_table >= baseline.disturb_table)
+        assert gated.disturb_table[1].min() \
+            > baseline.disturb_table[1].max()
+        assert gated.describe()["sense"] == sense.describe()
+        assert "sense" not in baseline.describe()
+
+    def test_engine_rates_rise_under_sense_gating(self, device):
+        plain = build_engine(device, pitch=70e-9, rows=16, cols=16)
+        gated = build_engine(
+            device, pitch=70e-9, rows=16, cols=16,
+            sense=SenseMarginModel(access=ACCESS, sigma_r=0.1))
+        assert gated.expected_rates(rng=0)["raw_ber"] > \
+            plain.expected_rates(rng=0)["raw_ber"]
+
+    def test_sense_travels_through_topology_engine(self, device):
+        sense = SenseMarginModel(access=ACCESS, sigma_r=0.1)
+        flat = build_engine(device, pitch=70e-9, rows=16, cols=16,
+                            sense=sense)
+        banked = build_engine(device, pitch=70e-9, rows=16, cols=16,
+                              topology="banked", banks=1, subarrays=1,
+                              sense=sense)
+        assert flat.run(2000, rng=3).raw_bit_errors == \
+            banked.run(2000, rng=3).raw_bit_errors
+        assert banked.template.controller.describe()["sense"] == \
+            sense.describe()

@@ -78,6 +78,47 @@ class TestParseRequest:
             parse_request({"op": "sweep", "pitch_ratios": []})
 
 
+class TestTopologyFields:
+    def test_defaults_are_flat(self):
+        query = parse_request({"op": "uber"})
+        assert (query.topology, query.banks, query.subarrays) == \
+            ("flat", 1, 1)
+
+    def test_cross_point_spelling_normalizes(self):
+        query = parse_request({"op": "uber", "topology": "cross-point",
+                               "banks": 2, "subarrays": 2})
+        assert query.topology == "cross_point"
+
+    def test_both_spellings_share_a_fingerprint(self):
+        dashed = parse_request({"op": "uber", "topology": "cross-point",
+                                "banks": 2, "subarrays": 2})
+        scored = parse_request({"op": "uber", "topology": "cross_point",
+                                "banks": 2, "subarrays": 2})
+        assert query_fingerprint(dashed) == query_fingerprint(scored)
+
+    def test_topology_changes_key(self):
+        flat = parse_request({"op": "uber"})
+        banked = parse_request({"op": "uber", "topology": "banked",
+                                "banks": 2, "subarrays": 2})
+        assert query_fingerprint(flat) != query_fingerprint(banked)
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ParameterError):
+            parse_request({"op": "uber", "topology": "toroidal"})
+
+    def test_flat_cannot_shard(self):
+        with pytest.raises(ParameterError):
+            parse_request({"op": "uber", "banks": 2})
+
+    def test_non_divisible_geometry_rejected(self):
+        with pytest.raises(ParameterError):
+            parse_request({"op": "uber", "topology": "banked",
+                           "banks": 3, "rows": 64})
+        with pytest.raises(ParameterError):
+            parse_request({"op": "uber", "topology": "banked",
+                           "subarrays": 5, "cols": 64})
+
+
 class TestFingerprint:
     def test_int_and_float_spellings_collapse(self):
         a = parse_request({"op": "uber", "pitch_nm": 70})
