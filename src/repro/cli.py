@@ -8,6 +8,7 @@ Subcommands::
     python -m repro.cli wer --vp 0.95 [...]        write-error pulse sizing
     python -m repro.cli memsys --pitch-nm 70 [...] system-level UBER
     python -m repro.cli worker --spool DIR         distributed-sweep worker
+    python -m repro.cli fleet --spool DIR          worker-fleet supervisor
     python -m repro.cli serve --socket PATH        reliability-query service
     python -m repro.cli query uber --socket PATH   ask a running service
     python -m repro.cli cache info|clear|warm      on-disk kernel cache
@@ -23,7 +24,17 @@ per-cell reference draw vs the class-grouped rare-event fast path) and
 points that bundle array size, traffic volume, and write-error trim;
 the dense presets select the binomial sampler, without which a
 ``nominal_wer <= 1e-6`` run would need billions of uniform draws per
-observed flip.
+observed flip. ``--checkpoint DIR`` makes the Monte-Carlo run
+crash-tolerant (atomic, checksummed snapshots at batch boundaries;
+``--checkpoint-every N`` sets the cadence in transactions) and
+``--resume`` continues a killed run mid-stream, byte-identical to the
+uninterrupted seeded run.
+
+``fleet`` supervises a pool of ``repro worker`` processes against a
+spool directory: it spawns workers when queue-depth x chunk-cost
+exceeds ``--latency-target``, restarts crashes with exponential
+backoff, and retires the fleet after ``--idle-grace`` seconds of empty
+spool (see :mod:`repro.resilience.supervisor`).
 
 Sweep-shaped subcommands (``reproduce``, ``design``, ``memsys``) accept
 ``--jobs N`` to fan the underlying :mod:`repro.sweep` grid out over N
@@ -196,13 +207,35 @@ def _cmd_memsys(args):
               f"({topo.sub_rows}x{topo.sub_cols} cells per shard, "
               f"{topo.n_shards} parallel sub-runs)")
     print()
+    manager = None
+    run_kwargs = {}
+    if args.resume and not args.checkpoint:
+        print("--resume needs --checkpoint DIR")
+        return 2
+    if args.checkpoint:
+        from .resilience import CheckpointManager
+        manager = CheckpointManager(args.checkpoint)
+        run_kwargs = dict(checkpoint=manager,
+                          checkpoint_every=args.checkpoint_every,
+                          resume=args.resume)
     if isinstance(engine, TopologyEngine):
         result = engine.run(args.transactions, rng=rng,
                             profile=args.profile,
-                            executor=args.executor, jobs=args.jobs)
+                            executor=args.executor, jobs=args.jobs,
+                            **run_kwargs)
     else:
         result = engine.run(args.transactions, rng=rng,
-                            profile=args.profile)
+                            profile=args.profile, **run_kwargs)
+    if manager is not None:
+        ck = manager.stats()
+        line = (f"checkpoints: {ck['directory']} "
+                f"({ck['saves']} save(s)")
+        for label in ("save_failures", "corrupt_fallbacks",
+                      "stale_fallbacks"):
+            if ck[label]:
+                line += f", {ck[label]} {label.replace('_', ' ')}"
+        print(line + ")")
+        print()
     headers, rows = result.summary_rows()
     print(format_table(headers, rows))
     print()
@@ -262,6 +295,18 @@ def _cmd_worker(args):
     return run_worker(spool=args.spool, worker_id=args.id,
                       poll=args.poll, max_idle=args.max_idle,
                       timeout=args.timeout)
+
+
+def _cmd_fleet(args):
+    from .resilience.supervisor import run_fleet
+    return run_fleet(spool=args.spool,
+                     latency_target=args.latency_target,
+                     chunk_cost=args.chunk_cost,
+                     min_workers=args.min_workers,
+                     max_workers=args.max_workers,
+                     idle_grace=args.idle_grace, poll=args.poll,
+                     duration=args.duration,
+                     until_idle=args.until_idle)
 
 
 def _cmd_cache(args):
@@ -508,6 +553,19 @@ def build_parser():
                    help="scrub period in seconds of simulated time")
     p.add_argument("--seed", type=int, default=None,
                    help="seed of the run's random generator")
+    p.add_argument("--checkpoint", default=None, metavar="DIR",
+                   help="snapshot run state to this directory at "
+                        "batch boundaries (atomic + checksummed), "
+                        "making the run crash-tolerant")
+    p.add_argument("--checkpoint-every", type=int, default=None,
+                   metavar="N",
+                   help="minimum transactions between snapshots "
+                        "(default: every batch boundary)")
+    p.add_argument("--resume", action="store_true",
+                   help="resume from --checkpoint DIR; the completed "
+                        "run is byte-identical to the uninterrupted "
+                        "seeded run (corrupt/stale checkpoints fall "
+                        "back to a clean restart with a warning)")
     add_sweep_arguments(p)
     p.add_argument("--out", default=None,
                    help="directory for CSV/JSON exports")
@@ -519,6 +577,14 @@ def build_parser():
         help="serve distributed sweep chunks from a spool directory")
     add_worker_arguments(p)
     p.set_defaults(func=_cmd_worker)
+
+    from .resilience.supervisor import add_fleet_arguments
+    p = sub.add_parser(
+        "fleet",
+        help="supervise a worker fleet against a spool directory "
+             "(spawn on demand, restart crashes, retire on idle)")
+    add_fleet_arguments(p)
+    p.set_defaults(func=_cmd_fleet)
 
     p = sub.add_parser(
         "cache", help="inspect/clear/warm the on-disk kernel cache")

@@ -43,3 +43,11 @@ class MeasurementError(ReproError, RuntimeError):
 class ServiceError(ReproError, RuntimeError):
     """The reliability service answered a query with an error event,
     or the connection to it failed."""
+
+
+class ResilienceWarning(UserWarning):
+    """A resilience mechanism degraded but recovered: a corrupt or
+    stale checkpoint fell back to a clean restart, a poison chunk was
+    quarantined, a checkpoint write failed and the run continued
+    unprotected. Warnings, not errors, on purpose — every one of these
+    events is survivable by design, but none should pass silently."""

@@ -43,6 +43,7 @@ import numpy as np
 from ..device.mtj import MTJDevice
 from ..errors import ParameterError
 from ..experiments.base import ExperimentResult
+from ..resilience.checkpoint import as_checkpointer, checkpoint_key
 from ..validation import require_non_negative, require_positive
 from .backends import resolve_backend
 from .bitplane import BitPlane
@@ -332,7 +333,8 @@ class ReliabilityEngine:
     # -- Monte-Carlo mode ---------------------------------------------------
 
     def run(self, n_transactions, rng=None, batch_size=8192,
-            progress=None, profile=False):
+            progress=None, profile=False, checkpoint=None,
+            checkpoint_every=None, resume=False):
         """Simulate ``n_transactions`` and return a :class:`MemsysResult`.
 
         Batches are split into *occurrence-rank rounds* — in round ``r``
@@ -364,20 +366,45 @@ class ReliabilityEngine:
         ``other``/``total``), so backend wins are attributable. Timing
         never touches the draw stream: a profiled run is bit-identical
         to an unprofiled one.
+
+        ``checkpoint`` (a directory path, a
+        :class:`~repro.resilience.checkpoint.CheckpointManager`, or a
+        pre-built :class:`~repro.resilience.checkpoint.RunCheckpointer`)
+        arms crash tolerance: the complete dynamic state — plane
+        arrays, RNG generator state, counters, workload and scrub
+        stream state — is snapshotted atomically at batch boundaries,
+        at most every ``checkpoint_every`` transactions (default: every
+        batch). With ``resume=True`` a matching checkpoint restores the
+        run mid-stream and the completed result is byte-identical to
+        the uninterrupted seeded run; a corrupt, stale, or absent
+        checkpoint degrades to a clean restart with a counted
+        :class:`~repro.errors.ResilienceWarning`. Saving never changes
+        the draw stream: a checkpointed run is bit-identical to an
+        unprotected one.
         """
         require_positive(n_transactions, "n_transactions")
         require_positive(batch_size, "batch_size")
         rng = np.random.default_rng(rng)
+        ckpt = as_checkpointer(checkpoint, every=checkpoint_every)
+        key = restored = None
+        if ckpt is not None:
+            key = checkpoint_key((self._config(),
+                                  int(n_transactions),
+                                  int(batch_size)))
+            if resume:
+                restored = ckpt.restore(key)
+                if restored is not None and restored.get("complete"):
+                    return restored["result"]
         profiler = PhaseProfiler() if profile else None
         t0 = time.perf_counter()
         if self.sampler == "binomial":
             result = self._run_binomial(int(n_transactions), rng,
                                         int(batch_size), progress,
-                                        profiler)
+                                        profiler, ckpt, key, restored)
         else:
             result = self._run_bernoulli(int(n_transactions), rng,
                                          int(batch_size), progress,
-                                         profiler)
+                                         profiler, ckpt, key, restored)
         if profiler is not None:
             result.extras["profile"] = profiler.breakdown(
                 total=time.perf_counter() - t0)
@@ -386,24 +413,39 @@ class ReliabilityEngine:
     # -- bernoulli reference path -------------------------------------------
 
     def _run_bernoulli(self, n_transactions, rng, batch_size,
-                       progress=None, profiler=None):
+                       progress=None, profiler=None, ckpt=None,
+                       key=None, restored=None):
         """One uniform per cell per mechanism over dense int8 state."""
         ctl = self.controller
         words = ctl.words
         rows, cols = ctl.layout.rows, ctl.layout.cols
 
-        intended = np.zeros(rows * cols, dtype=np.int8)
-        initial = self.workload.initial_bits(rows, cols, rng)
-        intended[:] = np.asarray(initial, dtype=np.int8).reshape(-1)
-        actual = intended.copy()
-        self.workload.bind(words)
-        self.workload.reset()
-        self.scrub.reset()
-
-        result = MemsysResult(config=self._config())
+        if restored is not None:
+            # Resume mid-stream: the saved RNG state already accounts
+            # for every draw up to the checkpointed boundary (including
+            # initial_bits), so nothing is drawn here.
+            intended = np.asarray(restored["intended"], dtype=np.int8)
+            actual = np.asarray(restored["actual"], dtype=np.int8)
+            self.workload = restored["workload"]
+            self.scrub = restored["scrub"]
+            self.workload.bind(words)
+            result = restored["result"]
+            now = float(restored["now"])
+            remaining = int(restored["remaining"])
+            rng.bit_generator.state = restored["rng_state"]
+        else:
+            intended = np.zeros(rows * cols, dtype=np.int8)
+            initial = self.workload.initial_bits(rows, cols, rng)
+            intended[:] = np.asarray(initial,
+                                     dtype=np.int8).reshape(-1)
+            actual = intended.copy()
+            self.workload.bind(words)
+            self.workload.reset()
+            self.scrub.reset()
+            result = MemsysResult(config=self._config())
+            now = 0.0
+            remaining = int(n_transactions)
         data_positions = ctl.ecc.data_positions
-        now = 0.0
-        remaining = int(n_transactions)
         while remaining > 0:
             n = min(int(batch_size), remaining)
             remaining -= n
@@ -450,10 +492,19 @@ class ReliabilityEngine:
                     profiler)
 
             result.n_transactions += n
+            if ckpt is not None and remaining > 0:
+                ckpt.maybe_save(result.n_transactions, lambda: {
+                    "key": key, "rng_state": rng.bit_generator.state,
+                    "intended": intended, "actual": actual,
+                    "workload": self.workload, "scrub": self.scrub,
+                    "result": result, "now": now,
+                    "remaining": remaining})
             if progress is not None:
                 progress(result.n_transactions, n_transactions)
 
         result.simulated_time = now
+        if ckpt is not None:
+            ckpt.finalize(key, result)
         return result
 
     def _apply_round(self, round_words, is_write, intended, actual,
@@ -564,29 +615,53 @@ class ReliabilityEngine:
     # cells.
 
     def _run_binomial(self, n_transactions, rng, batch_size,
-                      progress=None, profiler=None):
+                      progress=None, profiler=None, ckpt=None,
+                      key=None, restored=None):
         """Class-grouped binomial draws over bit-packed planes."""
         ctl = self.controller
         words = ctl.words
         rows, cols = ctl.layout.rows, ctl.layout.cols
         backend = self.backend
 
-        initial = self.workload.initial_bits(rows, cols, rng)
-        flat = np.asarray(initial, dtype=np.int8).reshape(-1)
-        intended = BitPlane.from_bits(flat, words.n_words,
-                                      ctl.ecc.n_code)
-        state = _PackedState(intended, intended.copy(),
-                             IncrementalClassMaps(rows, cols, intended,
-                                                  backend=backend),
-                             ctl, backend=backend)
-        self.workload.bind(words)
-        self.workload.reset()
-        self.scrub.reset()
-
-        result = MemsysResult(config=self._config())
+        if restored is not None:
+            # Resume mid-stream: planes and exact error counters come
+            # from the snapshot; the class maps are a pure function of
+            # the actual plane and rebuild from it (the loop refreshes
+            # them at the batch boundary anyway).
+            intended = restored["intended"]
+            actual = restored["actual"]
+            state = _PackedState(
+                intended, actual,
+                IncrementalClassMaps(rows, cols, actual,
+                                     backend=backend),
+                ctl, backend=backend)
+            state.err_count = np.asarray(restored["err_count"],
+                                         dtype=np.int16)
+            state.wrong_bits = int(restored["wrong_bits"])
+            self.workload = restored["workload"]
+            self.scrub = restored["scrub"]
+            self.workload.bind(words)
+            result = restored["result"]
+            now = float(restored["now"])
+            remaining = int(restored["remaining"])
+            rng.bit_generator.state = restored["rng_state"]
+        else:
+            initial = self.workload.initial_bits(rows, cols, rng)
+            flat = np.asarray(initial, dtype=np.int8).reshape(-1)
+            intended = BitPlane.from_bits(flat, words.n_words,
+                                          ctl.ecc.n_code)
+            state = _PackedState(intended, intended.copy(),
+                                 IncrementalClassMaps(rows, cols,
+                                                      intended,
+                                                      backend=backend),
+                                 ctl, backend=backend)
+            self.workload.bind(words)
+            self.workload.reset()
+            self.scrub.reset()
+            result = MemsysResult(config=self._config())
+            now = 0.0
+            remaining = int(n_transactions)
         data_positions = ctl.ecc.data_positions
-        now = 0.0
-        remaining = int(n_transactions)
         while remaining > 0:
             n = min(int(batch_size), remaining)
             remaining -= n
@@ -629,10 +704,22 @@ class ReliabilityEngine:
                     data_positions, rng, result, profiler)
 
             result.n_transactions += n
+            if ckpt is not None and remaining > 0:
+                ckpt.maybe_save(result.n_transactions, lambda: {
+                    "key": key, "rng_state": rng.bit_generator.state,
+                    "intended": state.intended,
+                    "actual": state.actual,
+                    "err_count": state.err_count,
+                    "wrong_bits": state.wrong_bits,
+                    "workload": self.workload, "scrub": self.scrub,
+                    "result": result, "now": now,
+                    "remaining": remaining})
             if progress is not None:
                 progress(result.n_transactions, n_transactions)
 
         result.simulated_time = now
+        if ckpt is not None:
+            ckpt.finalize(key, result)
         return result
 
     def _apply_round_binomial(self, round_words, is_write, state,

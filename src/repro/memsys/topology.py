@@ -43,6 +43,7 @@ from functools import partial
 import numpy as np
 
 from ..errors import ParameterError
+from ..resilience.checkpoint import CheckpointManager, RunCheckpointer
 from ..sweep.runner import SweepRunner, executor_for_jobs
 from ..sweep.spec import SweepSpec
 from ..validation import require_int_in_range, require_positive
@@ -238,14 +239,22 @@ def _spawn_generators(gen, n):
 
 
 def _run_shard(device, sub_rows, sub_cols, engine_kwargs, batch_size,
-               profile, shard, n_transactions, rng):
+               profile, checkpoint_dir, checkpoint_every, resume,
+               shard, n_transactions, rng):
     """One subarray sub-run; module-level so process executors can
-    pickle it (the ``shard`` axis only labels the sweep point)."""
-    del shard
+    pickle it (the ``shard`` axis labels the sweep point and names the
+    shard's checkpoint tag; the checkpoint directory travels as a
+    plain path so process/distributed executors can ship it)."""
     engine = build_engine(device, rows=sub_rows, cols=sub_cols,
                           **engine_kwargs)
+    ckpt = None
+    if checkpoint_dir is not None:
+        ckpt = RunCheckpointer(CheckpointManager(checkpoint_dir),
+                               tag=f"shard-{int(shard)}",
+                               every=checkpoint_every)
     return engine.run(n_transactions, rng=rng,
-                      batch_size=batch_size, profile=profile)
+                      batch_size=batch_size, profile=profile,
+                      checkpoint=ckpt, resume=resume)
 
 
 class TopologyEngine:
@@ -348,7 +357,8 @@ class TopologyEngine:
 
     def run(self, n_transactions, rng=None, batch_size=8192,
             progress=None, profile=False, executor=None, jobs=None,
-            spool=None):
+            spool=None, checkpoint=None, checkpoint_every=None,
+            resume=False):
         """Simulate ``n_transactions`` across the shards and merge.
 
         ``executor``/``jobs``/``spool`` select how shard sub-runs
@@ -358,17 +368,30 @@ class TopologyEngine:
         points. Seeded results are byte-identical for every executor:
         the child generators are spawned before dispatch and the merge
         is shard-ordered.
+
+        ``checkpoint``/``checkpoint_every``/``resume`` arm per-shard
+        crash tolerance (see :meth:`ReliabilityEngine.run
+        <repro.memsys.engine.ReliabilityEngine.run>`): one checkpoint
+        tag per shard in one directory, so a resumed run skips
+        completed shards outright and continues interrupted ones
+        mid-stream — on any executor, since the directory travels as a
+        plain path.
         """
         require_positive(n_transactions, "n_transactions")
         n = int(n_transactions)
         gen = (rng if isinstance(rng, np.random.Generator)
                else np.random.default_rng(rng))
         topo = self.topology
+        manager = None
+        if checkpoint is not None:
+            manager = (checkpoint
+                       if isinstance(checkpoint, CheckpointManager)
+                       else CheckpointManager(str(checkpoint)))
         if topo.n_shards == 1:
-            result = self.template.run(n, rng=gen,
-                                       batch_size=batch_size,
-                                       progress=progress,
-                                       profile=profile)
+            result = self.template.run(
+                n, rng=gen, batch_size=batch_size, progress=progress,
+                profile=profile, checkpoint=manager,
+                checkpoint_every=checkpoint_every, resume=resume)
             return self._finalize([result], executor="serial")
         shares = self.transaction_shares(n)
         children = _spawn_generators(gen, topo.n_shards)
@@ -384,14 +407,22 @@ class TopologyEngine:
                 if progress is not None:
                     def sub_progress(d, _total, base=done):
                         progress(base + d, n)
+                ckpt = None
+                if manager is not None:
+                    ckpt = RunCheckpointer(manager,
+                                           tag=f"shard-{shard}",
+                                           every=checkpoint_every)
                 results.append(self.template.run(
                     share, rng=child, batch_size=batch_size,
-                    progress=sub_progress, profile=profile))
+                    progress=sub_progress, profile=profile,
+                    checkpoint=ckpt, resume=resume))
                 done += share
         else:
             func = partial(_run_shard, self.device, topo.sub_rows,
                            topo.sub_cols, self._engine_kwargs,
-                           int(batch_size), bool(profile))
+                           int(batch_size), bool(profile),
+                           manager.directory if manager is not None
+                           else None, checkpoint_every, bool(resume))
             spec = SweepSpec.zipped(
                 shard=[shard for shard, _, _ in active],
                 n_transactions=[share for _, share, _ in active],

@@ -1,0 +1,85 @@
+"""Resilient run lifecycle: checkpoints, fleet supervision, faults.
+
+Chip-scale Monte-Carlo campaigns run for hours across many processes;
+this subpackage is what lets them survive the real world — crashes,
+poison chunks, corrupt files, flapping workers — without ever trading
+away the library's core contract that seeded runs are byte-identical:
+
+* :mod:`repro.resilience.checkpoint` — atomic, checksummed engine
+  checkpoints (:class:`CheckpointManager` / :class:`RunCheckpointer`):
+  a killed run resumes mid-stream, byte-identical to the uninterrupted
+  run; corrupt or stale checkpoints fall back to a clean restart with
+  a counted :class:`~repro.errors.ResilienceWarning`.
+* :mod:`repro.resilience.supervisor` — the worker-fleet supervisor
+  (:class:`FleetSupervisor`, ``repro fleet``): spawns ``repro worker``
+  processes when queue-depth x chunk-cost exceeds a latency target,
+  restarts crashes with exponential backoff + jitter, retires the
+  fleet on idle.
+* :mod:`repro.resilience.breaker` — :class:`CircuitBreaker` and
+  :class:`RetryPolicy`, the failure-aware pacing shared by the service
+  layer and the supervisor.
+* :mod:`repro.resilience.faults` — the deterministic fault-injection
+  harness (:class:`FaultPlan`): seeded kill-worker / poison-chunk /
+  corrupt-checkpoint / EIO-on-rename / stall-heartbeat scenarios
+  behind the :mod:`~repro.resilience.shims` seams, reused by the unit
+  tests and the CI chaos leg.
+
+Quick start::
+
+    from repro.resilience import CheckpointManager
+
+    engine = build_engine(device, rows=64, cols=64)
+    ckpt = CheckpointManager("/tmp/campaign")
+    result = engine.run(10**6, rng=np.random.default_rng(7),
+                        checkpoint=ckpt, resume=True)   # crash-safe
+"""
+
+from .breaker import CircuitBreaker, RetryPolicy, call_with_retry
+from .checkpoint import (
+    CheckpointManager,
+    RunCheckpointer,
+    as_checkpointer,
+    checkpoint_key,
+    corrupt_checkpoint,
+)
+from .faults import (
+    FAULT_KINDS,
+    FaultClock,
+    FaultPlan,
+    FaultyFileSystem,
+    WorkerFaults,
+    WorkerKilled,
+)
+from .shims import REAL_CLOCK, REAL_FS, Clock, FileSystem, ProcessSpawner
+from .supervisor import (
+    FleetSupervisor,
+    SpoolView,
+    add_fleet_arguments,
+    run_fleet,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "REAL_CLOCK",
+    "REAL_FS",
+    "CheckpointManager",
+    "CircuitBreaker",
+    "Clock",
+    "FaultClock",
+    "FaultPlan",
+    "FaultyFileSystem",
+    "FileSystem",
+    "FleetSupervisor",
+    "ProcessSpawner",
+    "RetryPolicy",
+    "RunCheckpointer",
+    "SpoolView",
+    "WorkerFaults",
+    "WorkerKilled",
+    "add_fleet_arguments",
+    "as_checkpointer",
+    "call_with_retry",
+    "checkpoint_key",
+    "corrupt_checkpoint",
+    "run_fleet",
+]

@@ -1,0 +1,171 @@
+"""Circuit breaker and retry-with-backoff: failure-aware pacing.
+
+Two small, clock-injected state machines shared by the service layer
+and the fleet supervisor:
+
+* :class:`CircuitBreaker` — classic closed → open → half-open. The
+  service keeps one per operation; after ``failure_threshold``
+  consecutive runner failures the breaker opens and the server answers
+  degraded (cached data when it has any) instead of queueing more work
+  onto a failing backend. After ``reset_timeout`` one probe request is
+  let through (half-open); success closes the breaker, failure re-opens
+  it for another full window.
+
+* :class:`RetryPolicy` — exponential backoff with seeded jitter.
+  ``delay(attempt)`` is a pure function of ``(base, factor, cap, seed,
+  attempt)``, so supervisor restart schedules are deterministic under
+  test while still decorrelating real fleets (different worker ids seed
+  different streams).
+
+Neither class sleeps on its own; callers ask and act. That keeps both
+usable from asyncio (service) and plain threads (supervisor) alike.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..validation import require_positive
+from .shims import REAL_CLOCK
+
+#: Breaker states (strings on purpose: they go straight into /stats).
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with timed half-open probes.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures that open the breaker.
+    reset_timeout:
+        Seconds the breaker stays open before allowing one probe.
+    clock:
+        Injectable clock (tests advance a FaultClock through a full
+        open → half-open → closed cycle without sleeping).
+    """
+
+    def __init__(self, failure_threshold=5, reset_timeout=30.0,
+                 clock=None):
+        require_positive(failure_threshold, "failure_threshold")
+        require_positive(reset_timeout, "reset_timeout")
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout = float(reset_timeout)
+        self.clock = clock if clock is not None else REAL_CLOCK
+        self.state = CLOSED
+        self.failures = 0
+        self.opened = 0
+        self.rejected = 0
+        self._opened_at = None
+
+    def allow(self):
+        """May a request proceed right now?
+
+        While open, requests are rejected (and counted) until the
+        reset window elapses; the first request after that transitions
+        to half-open and is allowed as the probe.
+        """
+        if self.state == OPEN:
+            if (self.clock.monotonic() - self._opened_at
+                    >= self.reset_timeout):
+                self.state = HALF_OPEN
+                return True
+            self.rejected += 1
+            return False
+        return True
+
+    def record_success(self):
+        """A request finished cleanly; close and reset."""
+        self.state = CLOSED
+        self.failures = 0
+        self._opened_at = None
+
+    def record_failure(self):
+        """A request failed; open on threshold or failed probe."""
+        self.failures += 1
+        if (self.state == HALF_OPEN
+                or self.failures >= self.failure_threshold):
+            self.state = OPEN
+            self.opened += 1
+            self._opened_at = self.clock.monotonic()
+            self.failures = 0
+
+    def stats(self):
+        return {
+            "state": self.state,
+            "consecutive_failures": self.failures,
+            "times_opened": self.opened,
+            "rejected": self.rejected,
+        }
+
+
+class RetryPolicy:
+    """Exponential backoff with seeded jitter.
+
+    ``delay(attempt)`` for attempt ``k`` (1-based) is
+    ``min(cap, base * factor**(k-1)) * u`` with ``u`` drawn uniformly
+    from ``[1 - jitter, 1 + jitter]`` by a generator seeded at
+    construction — deterministic per policy instance, decorrelated
+    across instances with different seeds.
+    """
+
+    def __init__(self, base=0.5, factor=2.0, cap=30.0, jitter=0.25,
+                 max_attempts=None, seed=0):
+        require_positive(base, "base")
+        if factor < 1.0:
+            raise ParameterError(
+                f"factor must be >= 1, got {factor}")
+        require_positive(cap, "cap")
+        if not 0.0 <= jitter < 1.0:
+            raise ParameterError(
+                f"jitter must be in [0, 1), got {jitter}")
+        self.base = float(base)
+        self.factor = float(factor)
+        self.cap = float(cap)
+        self.jitter = float(jitter)
+        self.max_attempts = (None if max_attempts is None
+                             else int(max_attempts))
+        self._rng = np.random.default_rng(seed)
+
+    def delay(self, attempt):
+        """Backoff before retry number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ParameterError(
+                f"attempt must be >= 1, got {attempt}")
+        raw = min(self.cap, self.base * self.factor ** (attempt - 1))
+        if self.jitter:
+            raw *= float(self._rng.uniform(1.0 - self.jitter,
+                                           1.0 + self.jitter))
+        return raw
+
+    def exhausted(self, attempt):
+        """True when ``attempt`` retries have used up the budget."""
+        return (self.max_attempts is not None
+                and attempt >= self.max_attempts)
+
+
+def call_with_retry(func, policy, clock=None, retry_on=Exception,
+                    on_retry=None):
+    """Run ``func()`` with the policy's backoff between failures.
+
+    The synchronous helper behind spool-dispatch retry: transient
+    broker errors (a spool directory racing into existence, an NFS
+    hiccup) retry with backoff; the final failure propagates.
+    ``on_retry(attempt, exc)`` observes each retry for logging/stats.
+    """
+    clock = clock if clock is not None else REAL_CLOCK
+    attempt = 0
+    while True:
+        try:
+            return func()
+        except retry_on as exc:
+            attempt += 1
+            if policy.exhausted(attempt):
+                raise
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            clock.sleep(policy.delay(attempt))

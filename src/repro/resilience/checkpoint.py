@@ -1,0 +1,311 @@
+"""Atomic, checksummed run checkpoints: crash-tolerant Monte Carlo.
+
+A chip-scale reliability campaign is hours of seeded draws; a process
+crash at 97% used to mean starting over. This module makes every
+:class:`~repro.memsys.engine.ReliabilityEngine` run resumable: at batch
+boundaries the engine snapshots its complete dynamic state — bitplane
+(or dense) array state, the RNG generator state, every result counter,
+workload/scrub stream state — through a :class:`RunCheckpointer`, and a
+resumed run replays *nothing*: it restores the generator mid-stream and
+continues, producing results byte-identical to the uninterrupted run
+(asserted by the resilience test suite for both samplers and flat +
+banked topologies).
+
+Durability rules, in the same spirit as the kernel disk cache:
+
+* **Writes are atomic.** Payloads serialize to a temp file and
+  ``replace`` into place; a reader never observes a torn checkpoint.
+* **Checksums gate reads.** The header carries a SHA-256 of the
+  payload; any mismatch (truncation, bitrot, a fault plan's corruption)
+  is *detected*, counted, warned about — and survived: the caller falls
+  back to a clean restart, never to wrong numbers.
+* **Staleness is corruption's sibling.** Each checkpoint embeds a key
+  derived from the engine configuration and run shape; resuming against
+  a checkpoint written by a different run degrades to a clean restart
+  with a counted :class:`~repro.errors.ResilienceWarning`.
+* **Write failures never kill the run.** A checkpoint that cannot be
+  written (disk full, EIO from the fault harness) costs future
+  resumability, not the run in progress.
+
+All file IO flows through the :class:`~repro.resilience.shims
+.FileSystem` shim, which is how the fault-injection harness drives
+EIO-on-rename and corrupt-checkpoint scenarios deterministically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import pickle
+import struct
+import uuid
+import warnings
+
+from ..errors import ParameterError, ResilienceWarning
+from ..validation import require_positive
+from .shims import REAL_FS
+
+#: File-format sanity marker + version (bump to invalidate old files).
+_MAGIC = b"RCHKPT01"
+
+#: Header: magic, payload length (u64), SHA-256 digest (32 bytes).
+_HEADER = struct.Struct("<8sQ32s")
+
+_SUFFIX = ".ckpt"
+
+
+def checkpoint_key(parts):
+    """Stable hex key of a run's identity (config + shape).
+
+    ``parts`` is any repr-deterministic structure (the engine hashes
+    its config dict plus the transaction/batch shape). A resumed run
+    whose key disagrees with the stored one is a *different* run and
+    must not inherit the state.
+    """
+    raw = repr(parts).encode("utf-8")
+    return hashlib.sha256(raw).hexdigest()[:32]
+
+
+def _encode(payload):
+    body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    digest = hashlib.sha256(body).digest()
+    return _HEADER.pack(_MAGIC, len(body), digest) + body
+
+
+def _decode(blob):
+    """Payload of one checkpoint blob; raises ``ValueError`` when it
+    cannot be trusted (bad magic, truncation, checksum mismatch)."""
+    if len(blob) < _HEADER.size:
+        raise ValueError("checkpoint shorter than its header")
+    magic, length, digest = _HEADER.unpack_from(blob)
+    if magic != _MAGIC:
+        raise ValueError("checkpoint magic/version mismatch")
+    body = blob[_HEADER.size:]
+    if len(body) != length:
+        raise ValueError(
+            f"checkpoint truncated: {len(body)} of {length} bytes")
+    if hashlib.sha256(body).digest() != digest:
+        raise ValueError("checkpoint checksum mismatch")
+    try:
+        return pickle.loads(body)
+    except Exception as exc:
+        raise ValueError(f"checkpoint payload undecodable: {exc!r}")
+
+
+class CheckpointManager:
+    """A directory of named, atomic, checksummed checkpoint files.
+
+    Parameters
+    ----------
+    directory:
+        Where checkpoints live; created on first save.
+    fs:
+        A :class:`~repro.resilience.shims.FileSystem`; the default is
+        the real one. The fault harness substitutes a failing double.
+    """
+
+    def __init__(self, directory, fs=None):
+        if not directory:
+            raise ParameterError("checkpoint directory must be a path")
+        self.directory = str(directory)
+        self.fs = fs if fs is not None else REAL_FS
+        self.saves = 0
+        self.save_failures = 0
+        self.corrupt_fallbacks = 0
+        self.stale_fallbacks = 0
+
+    def _path(self, tag):
+        if not tag or "/" in tag or "\\" in tag or tag.startswith("."):
+            raise ParameterError(f"bad checkpoint tag {tag!r}")
+        return f"{self.directory}/{tag}{_SUFFIX}"
+
+    def save(self, tag, payload):
+        """Atomically persist ``payload`` under ``tag``.
+
+        Returns True on success. Failure (any ``OSError`` from the
+        filesystem) is counted, warned about once per call, and
+        swallowed — checkpointing protects the run, it must never be
+        the thing that kills it.
+        """
+        path = self._path(tag)
+        tmp = (f"{self.directory}/.tmp-{uuid.uuid4().hex[:8]}-"
+               f"{tag}{_SUFFIX}")
+        try:
+            self.fs.makedirs(self.directory)
+            self.fs.write_bytes(tmp, _encode(payload))
+            self.fs.replace(tmp, path)
+        except OSError as exc:
+            self.save_failures += 1
+            try:
+                self.fs.unlink(tmp)
+            except OSError:
+                pass
+            warnings.warn(
+                f"checkpoint save failed for {path!r} ({exc}); the "
+                f"run continues without this snapshot",
+                ResilienceWarning, stacklevel=2)
+            return False
+        self.saves += 1
+        return True
+
+    def load(self, tag, expect_key=None):
+        """The payload stored under ``tag``, or None with a counted
+        warning when it is absent, corrupt, or stale.
+
+        ``expect_key`` (from :func:`checkpoint_key`) guards against
+        resuming a different run's state: a mismatch is a *stale*
+        fallback, distinct from corruption in the counters.
+        """
+        path = self._path(tag)
+        try:
+            blob = self.fs.read_bytes(path)
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            self.corrupt_fallbacks += 1
+            warnings.warn(
+                f"checkpoint {path!r} unreadable ({exc}); falling "
+                f"back to a clean restart", ResilienceWarning,
+                stacklevel=2)
+            return None
+        try:
+            payload = _decode(blob)
+        except ValueError as exc:
+            self.corrupt_fallbacks += 1
+            warnings.warn(
+                f"checkpoint {path!r} corrupt ({exc}); falling back "
+                f"to a clean restart", ResilienceWarning, stacklevel=2)
+            return None
+        if expect_key is not None and payload.get("key") != expect_key:
+            self.stale_fallbacks += 1
+            warnings.warn(
+                f"checkpoint {path!r} belongs to a different run "
+                f"(stale configuration); falling back to a clean "
+                f"restart", ResilienceWarning, stacklevel=2)
+            return None
+        return payload
+
+    def delete(self, tag):
+        """Remove ``tag``'s checkpoint (no-op when absent)."""
+        try:
+            self.fs.unlink(self._path(tag))
+        except OSError:
+            pass
+
+    def tags(self):
+        """Sorted tags currently stored (completed or in-flight)."""
+        try:
+            names = self.fs.listdir(self.directory)
+        except OSError:
+            return []
+        return sorted(name[:-len(_SUFFIX)] for name in names
+                      if name.endswith(_SUFFIX)
+                      and not name.startswith("."))
+
+    def stats(self):
+        """Counters for run summaries and the resilience tests."""
+        return {
+            "directory": self.directory,
+            "saves": self.saves,
+            "save_failures": self.save_failures,
+            "corrupt_fallbacks": self.corrupt_fallbacks,
+            "stale_fallbacks": self.stale_fallbacks,
+        }
+
+
+class RunCheckpointer:
+    """Cadence + identity policy over one engine run's checkpoints.
+
+    Parameters
+    ----------
+    manager:
+        The :class:`CheckpointManager` (or a directory path, wrapped
+        on the spot).
+    tag:
+        File name of this run's checkpoint within the manager's
+        directory (topology runs use one tag per shard).
+    every:
+        Minimum transactions between snapshots; None snapshots at
+        every batch boundary.
+    """
+
+    def __init__(self, manager, tag="run", every=None):
+        if isinstance(manager, str):
+            manager = CheckpointManager(manager)
+        if not isinstance(manager, CheckpointManager):
+            raise ParameterError(
+                f"manager must be a CheckpointManager or path, got "
+                f"{type(manager)!r}")
+        if every is not None:
+            require_positive(every, "every")
+        self.manager = manager
+        self.tag = str(tag)
+        self.every = None if every is None else int(every)
+        self._last_saved = None
+
+    def restore(self, key):
+        """The saved run state matching ``key``, or None."""
+        payload = self.manager.load(self.tag, expect_key=key)
+        if payload is not None:
+            self._last_saved = payload.get("done")
+        return payload
+
+    def maybe_save(self, done, payload_fn):
+        """Snapshot at a batch boundary if the cadence is due.
+
+        ``payload_fn()`` builds the state dict lazily so an off-cadence
+        boundary costs one comparison, not a serialization.
+        """
+        if (self.every is not None and self._last_saved is not None
+                and done - self._last_saved < self.every):
+            return False
+        payload = payload_fn()
+        payload["done"] = int(done)
+        if self.manager.save(self.tag, payload):
+            self._last_saved = int(done)
+            return True
+        return False
+
+    def finalize(self, key, result):
+        """Persist the completed run's result.
+
+        A resume of a finished run then returns the stored result
+        outright — which is what lets a multi-shard topology resume
+        skip its completed shards entirely.
+        """
+        self.manager.save(self.tag, {
+            "key": key, "complete": True, "result": result,
+            "done": getattr(result, "n_transactions", None),
+        })
+
+
+def as_checkpointer(checkpoint, tag="run", every=None):
+    """Coerce a path / manager / checkpointer into a RunCheckpointer.
+
+    The one spot that defines what the engine's ``checkpoint=``
+    argument accepts; None passes through (checkpointing off).
+    """
+    if checkpoint is None:
+        return None
+    if isinstance(checkpoint, RunCheckpointer):
+        return checkpoint
+    return RunCheckpointer(checkpoint if isinstance(
+        checkpoint, CheckpointManager) else CheckpointManager(
+        str(checkpoint)), tag=tag, every=every)
+
+
+def corrupt_checkpoint(path, offset=-8, flip=0x01):
+    """Flip one payload byte of a checkpoint file (test/chaos helper).
+
+    Deterministic by construction — ``offset`` indexes into the file
+    (negative from the end, i.e. inside the pickled payload) and
+    ``flip`` XORs that byte — so the corruption-fallback scenario in
+    the chaos matrix is reproducible bit-for-bit.
+    """
+    with open(path, "rb") as handle:
+        blob = bytearray(handle.read())
+    if not blob:
+        raise ParameterError(f"cannot corrupt empty file {path!r}")
+    blob[offset] ^= flip
+    with io.open(path, "wb") as handle:
+        handle.write(bytes(blob))

@@ -1,0 +1,136 @@
+"""Injectable OS shims: filesystem, clock, process control.
+
+Every resilience mechanism in this package — checkpoint writes, fleet
+supervision, retry backoff — ultimately talks to the operating system,
+and the operating system is exactly what the fault-injection harness
+(:mod:`repro.resilience.faults`) needs to control. These shims are the
+seam: production code holds a shim object and calls through it; the
+default singletons delegate straight to ``os``/``time``/``subprocess``
+with no overhead worth measuring, while the harness substitutes
+deterministic doubles that fail on schedule.
+
+The shims are deliberately *narrow*: they expose only the operations
+the resilience layer performs (atomic replace, byte-level file IO,
+directory scans, monotonic time, sleeping, worker-process lifecycle),
+so a fault plan enumerates a small, meaningful fault space instead of
+"any syscall anywhere".
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+
+
+class FileSystem:
+    """The real filesystem: thin delegating wrappers around ``os``.
+
+    :class:`~repro.resilience.faults.FaultyFileSystem` subclasses this
+    and overrides individual operations to fail (or corrupt) on a
+    seeded schedule; everything it does not override falls through to
+    the real thing.
+    """
+
+    def makedirs(self, path):
+        os.makedirs(path, exist_ok=True)
+
+    def exists(self, path):
+        return os.path.exists(path)
+
+    def listdir(self, path):
+        return os.listdir(path)
+
+    def unlink(self, path):
+        os.unlink(path)
+
+    def replace(self, src, dst):
+        """Atomic rename — the commit point of every durable write."""
+        os.replace(src, dst)
+
+    def read_bytes(self, path):
+        with open(path, "rb") as handle:
+            return handle.read()
+
+    def write_bytes(self, path, data):
+        with open(path, "wb") as handle:
+            handle.write(data)
+
+
+class Clock:
+    """The real clock: ``time.monotonic``/``time.time``/``time.sleep``.
+
+    Supervisor loops and retry backoff read time and sleep only through
+    a clock object, so tests (and the fault harness) can run hours of
+    supervision in microseconds with a manually advanced
+    :class:`~repro.resilience.faults.FaultClock`.
+    """
+
+    def monotonic(self):
+        return time.monotonic()
+
+    def time(self):
+        return time.time()
+
+    def sleep(self, seconds):
+        time.sleep(seconds)
+
+
+class WorkerHandle:
+    """One spawned worker process (the supervisor's view of it)."""
+
+    def __init__(self, process, worker_id):
+        self._process = process
+        self.worker_id = worker_id
+
+    @property
+    def pid(self):
+        return self._process.pid
+
+    def alive(self):
+        return self._process.poll() is None
+
+    def returncode(self):
+        return self._process.poll()
+
+    def terminate(self):
+        if self.alive():
+            self._process.terminate()
+
+    def wait(self, timeout=None):
+        try:
+            self._process.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            self._process.kill()
+            self._process.wait(timeout=5.0)
+
+
+class ProcessSpawner:
+    """Spawns real ``repro worker`` subprocesses against a spool.
+
+    The spawned interpreter inherits this process's environment (so
+    ``PYTHONPATH``/``REPRO_KERNEL_CACHE`` travel) and serves the spool
+    with ``--max-idle``/``--timeout`` bounds, so an orphaned worker —
+    its supervisor killed — still drains instead of running forever.
+    """
+
+    def __init__(self, max_idle=30.0, timeout=None):
+        self.max_idle = max_idle
+        self.timeout = timeout
+
+    def spawn(self, spool, worker_id):
+        argv = [sys.executable, "-m", "repro.cli", "worker",
+                "--spool", str(spool), "--id", str(worker_id)]
+        if self.max_idle is not None:
+            argv += ["--max-idle", str(self.max_idle)]
+        if self.timeout is not None:
+            argv += ["--timeout", str(self.timeout)]
+        process = subprocess.Popen(
+            argv, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+        return WorkerHandle(process, worker_id)
+
+
+#: Default shim singletons: the real operating system.
+REAL_FS = FileSystem()
+REAL_CLOCK = Clock()

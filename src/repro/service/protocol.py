@@ -266,8 +266,11 @@ QUERY_TYPES = {
 }
 
 #: Request keys that frame the protocol rather than parameterize the
-#: query; stripped before dataclass construction.
-_ENVELOPE_KEYS = ("op", "id")
+#: query; stripped before dataclass construction. ``deadline_s`` is a
+#: delivery constraint, not part of the physical question, so it never
+#: reaches the fingerprint — the same query with and without a
+#: deadline shares one memo entry.
+_ENVELOPE_KEYS = ("op", "id", "deadline_s")
 
 
 def parse_request(obj):

@@ -61,6 +61,7 @@ class ResultsCache:
         self._misses = 0
         self._disk_hits = 0
         self._disk_write_failures = 0
+        self._disk_corrupt = 0
 
     # -- key plumbing --------------------------------------------------
 
@@ -89,12 +90,14 @@ class ResultsCache:
             return None
         except (OSError, json.JSONDecodeError, UnicodeDecodeError):
             # Corrupt or unreadable entry: drop it and treat as a miss.
+            self._disk_corrupt += 1
             try:
                 os.unlink(path)
             except OSError:
                 pass
             return None
         if not isinstance(payload, dict):
+            self._disk_corrupt += 1
             return None
         return payload
 
@@ -171,6 +174,7 @@ class ResultsCache:
                 "misses": self._misses,
                 "disk_hits": self._disk_hits,
                 "disk_write_failures": self._disk_write_failures,
+                "disk_corrupt": self._disk_corrupt,
                 "memory_entries": len(self._memory),
                 "capacity": self.capacity,
                 "disk_directory": self.directory,

@@ -30,6 +30,7 @@ from ..device import PAPER_EVAL_DEVICE
 from ..errors import ParameterError, RunAborted
 from ..memsys import build_engine, uber_sweep
 from ..memsys.sweeps import SWEEP_HEADERS
+from ..resilience.breaker import RetryPolicy, call_with_retry
 from ..sweep import EXECUTORS, executor_for_jobs
 from ..sweep.distributed import SWEEP_SPOOL_ENV
 from ..units import nm_to_m
@@ -38,6 +39,10 @@ from .protocol import device_for
 #: Sweep grids at least this large go to the distributed spool broker
 #: when ``REPRO_SWEEP_SPOOL`` is configured.
 DISTRIBUTED_MIN_POINTS = 64
+
+#: Attempts at dispatching a sweep to the spool broker before the
+#: failure propagates to the client.
+SPOOL_DISPATCH_ATTEMPTS = 3
 
 
 def json_safe(value):
@@ -69,6 +74,18 @@ def _progress(abort, publish):
             raise RunAborted("query abandoned by every subscriber")
         publish(done, total)
     return callback
+
+
+def _dispatch(func, executor, seed=0):
+    """Run one sweep dispatch; distributed runs retry transient spool
+    I/O (an NFS hiccup, the spool racing into existence) with seeded
+    exponential backoff before the failure reaches the client."""
+    if executor != "distributed":
+        return func()
+    policy = RetryPolicy(base=0.2, factor=2.0, cap=2.0,
+                         max_attempts=SPOOL_DISPATCH_ATTEMPTS,
+                         seed=seed)
+    return call_with_retry(func, policy, retry_on=OSError)
 
 
 def pick_executor(query):
@@ -151,13 +168,13 @@ def run_sweep(query, abort, publish):
     """Expected-UBER sweep over pitch x pattern x ECC."""
     device = device_for(query)
     executor = pick_executor(query)
-    result = uber_sweep(
+    result = _dispatch(lambda: uber_sweep(
         device, pitch_ratios=list(query.pitch_ratios),
         patterns=list(query.patterns), eccs=list(query.eccs),
         rows=query.rows, cols=query.cols, seed=query.seed,
         jobs=query.jobs, executor=executor,
         progress=_progress(abort, publish), vp=query.vp,
-        nominal_wer=query.nominal_wer)
+        nominal_wer=query.nominal_wer), executor, seed=query.seed)
     comparisons = [{"metric": c.metric, "measured": c.measured,
                     "passed": c.passed} for c in result.comparisons]
     return json_safe({
@@ -174,10 +191,10 @@ def run_design(query, abort, publish):
     explorer = DesignSpaceExplorer(PAPER_EVAL_DEVICE,
                                    probe_voltage=query.probe_voltage)
     executor = pick_executor(query)
-    points = explorer.sweep(
+    points = _dispatch(lambda: explorer.sweep(
         [nm_to_m(e) for e in query.ecds_nm],
         list(query.pitch_ratios), jobs=query.jobs, executor=executor,
-        progress=_progress(abort, publish))
+        progress=_progress(abort, publish)), executor)
     return json_safe({
         "headers": list(DESIGN_HEADERS),
         "rows": [list(p.row()) for p in points],

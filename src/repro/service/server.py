@@ -16,6 +16,22 @@ another request's frames on a shared connection.
 Shutdown: SIGTERM/SIGINT (or :meth:`ReliabilityServer.request_stop`)
 stops accepting connections, lets every in-flight request finish and
 flush its terminal event, then closes — a drain, not a kill.
+
+Hardening (all observable in ``/stats``):
+
+* **Deadlines** — a request may carry ``deadline_s`` in its envelope;
+  a query still unanswered after that many seconds gets a ``deadline
+  exceeded`` error. The shared evaluation keeps running for any other
+  subscriber; the abandoning subscriber is reference-counted out
+  exactly like a disconnect.
+* **Circuit breaker** — one per op. After ``breaker_threshold``
+  consecutive runner failures the op answers ``degraded: true``
+  errors (cache hits still serve) instead of queueing more work onto
+  a failing backend; after ``breaker_reset`` seconds one probe is let
+  through.
+* **Load shedding** — at most ``max_in_flight`` queries evaluate at
+  once; beyond that the server answers an immediate ``shed: true``
+  error instead of queueing unboundedly.
 """
 
 from __future__ import annotations
@@ -27,7 +43,10 @@ import signal
 import time
 from collections import deque
 
+from ..arrays.kernel_store import get_kernel_store
 from ..errors import ParameterError, ReproError, RunAborted
+from ..resilience.breaker import CircuitBreaker
+from ..validation import require_int_in_range, require_positive
 from .coalesce import Coalescer
 from .protocol import (MAX_LINE_BYTES, decode_line, encode_line,
                        parse_request, query_fingerprint)
@@ -89,10 +108,16 @@ class ReliabilityServer:
         when omitted.
     capacity:
         Memory-tier size of the default cache.
+    max_in_flight:
+        Queries evaluating at once before new ones are shed.
+    breaker_threshold, breaker_reset:
+        Consecutive runner failures that open an op's circuit breaker,
+        and how long it stays open before a half-open probe.
     """
 
     def __init__(self, path=None, host=None, port=None, cache=None,
-                 capacity=256):
+                 capacity=256, max_in_flight=64, breaker_threshold=5,
+                 breaker_reset=30.0, breaker_clock=None):
         if path is not None and port is not None:
             raise ParameterError(
                 "pass either a unix-socket path or a TCP port, not "
@@ -106,8 +131,19 @@ class ReliabilityServer:
         self.cache = cache if cache is not None else ResultsCache(
             capacity=capacity)
         self.coalescer = Coalescer()
+        require_int_in_range(max_in_flight, "max_in_flight", 1, 1 << 16)
+        require_positive(breaker_threshold, "breaker_threshold")
+        require_positive(breaker_reset, "breaker_reset")
+        self.max_in_flight = int(max_in_flight)
+        self.breaker_threshold = int(breaker_threshold)
+        self.breaker_reset = float(breaker_reset)
+        self._breaker_clock = breaker_clock
+        self.breakers = {}
         self.endpoints = {}
         self.in_flight = 0
+        self.shed = 0
+        self.deadline_exceeded = 0
+        self.degraded = 0
         self._progress_events = 0
         self._requests = set()
         self._writers = set()
@@ -225,6 +261,29 @@ class ReliabilityServer:
             self.endpoints[op] = EndpointStats()
         return self.endpoints[op]
 
+    def _breaker(self, op):
+        if op not in self.breakers:
+            self.breakers[op] = CircuitBreaker(
+                failure_threshold=self.breaker_threshold,
+                reset_timeout=self.breaker_reset,
+                clock=self._breaker_clock)
+        return self.breakers[op]
+
+    @staticmethod
+    def _deadline_of(obj):
+        """Validated ``deadline_s`` of one request envelope (or
+        ``None``)."""
+        deadline = obj.get("deadline_s")
+        if deadline is None:
+            return None
+        if (isinstance(deadline, bool)
+                or not isinstance(deadline, (int, float))
+                or not deadline > 0):
+            raise ParameterError(
+                f"deadline_s must be a positive number, got "
+                f"{deadline!r}")
+        return float(deadline)
+
     async def _handle_request(self, line, writer):
         start = time.monotonic()
         req_id = None
@@ -235,6 +294,7 @@ class ReliabilityServer:
                 obj = decode_line(line)
                 req_id = obj.get("id")
                 query = parse_request(obj)
+                deadline = self._deadline_of(obj)
                 op = query.op
             except ReproError as exc:
                 error = True
@@ -248,9 +308,21 @@ class ReliabilityServer:
                                     "result": self.stats_payload()})
                 return
 
+            if self.in_flight >= self.max_in_flight:
+                error = True
+                self.shed += 1
+                self._send(writer, {
+                    "id": req_id, "event": "error", "ok": False,
+                    "shed": True,
+                    "error": f"server overloaded: {self.in_flight} "
+                             f"queries in flight (limit "
+                             f"{self.max_in_flight}); retry later"})
+                return
+
             self.in_flight += 1
             try:
-                error = await self._answer(query, req_id, writer)
+                error = await self._answer(query, req_id, writer,
+                                           deadline)
             finally:
                 self.in_flight -= 1
         finally:
@@ -259,7 +331,7 @@ class ReliabilityServer:
             with contextlib.suppress(Exception):
                 await writer.drain()
 
-    async def _answer(self, query, req_id, writer):
+    async def _answer(self, query, req_id, writer, deadline=None):
         """Serve one parsed query; returns True when it errored."""
         key = query_fingerprint(query)
         cached = self.cache.get(key)
@@ -270,6 +342,20 @@ class ReliabilityServer:
                                 "fingerprint": key, "result": cached})
             return False
 
+        breaker = self._breaker(query.op)
+        if not breaker.allow():
+            # Open breaker: answer degraded instead of queueing more
+            # work onto a failing backend. Cache hits (above) still
+            # serve normally while the breaker is open.
+            self.degraded += 1
+            self._send(writer, {
+                "id": req_id, "event": "error", "ok": False,
+                "degraded": True, "fingerprint": key,
+                "error": f"op {query.op!r} is circuit-broken after "
+                         f"repeated runner failures; retrying within "
+                         f"{breaker.reset_timeout:g}s"})
+            return True
+
         def on_progress(done, total):
             self._progress_events += 1
             self._send(writer, {"id": req_id, "event": "progress",
@@ -278,18 +364,45 @@ class ReliabilityServer:
         runner = RUNNERS[query.op]
         coalesced = self.coalescer.is_running(key)
         try:
-            payload = await self.coalescer.run(
+            future = self.coalescer.run(
                 key, lambda abort, publish: runner(query, abort,
                                                    publish),
                 on_progress=on_progress)
+            if deadline is not None:
+                payload = await asyncio.wait_for(future, deadline)
+            else:
+                payload = await future
+        except asyncio.TimeoutError:
+            # This subscriber leaves the shared run (cancellation is
+            # reference-counted: co-subscribed clients keep it alive);
+            # a missed deadline says nothing about backend health, so
+            # the breaker does not count it.
+            self.deadline_exceeded += 1
+            self._send(writer, {
+                "id": req_id, "event": "error", "ok": False,
+                "deadline_exceeded": True,
+                "error": f"deadline of {deadline:g}s exceeded"})
+            return True
         except RunAborted as exc:
             self._send(writer, {"id": req_id, "event": "error",
                                 "ok": False, "error": str(exc)})
             return True
         except ReproError as exc:
+            breaker.record_failure()
             self._send(writer, {"id": req_id, "event": "error",
                                 "ok": False, "error": str(exc)})
             return True
+        except Exception as exc:
+            # A runner bug (or a backend blowing up outside the
+            # ReproError taxonomy) must degrade this one query, not
+            # tear down the connection's handler task.
+            breaker.record_failure()
+            self._send(writer, {
+                "id": req_id, "event": "error", "ok": False,
+                "error": f"internal error: "
+                         f"{type(exc).__name__}: {exc}"})
+            return True
+        breaker.record_success()
         self.cache.put(key, payload)
         self._send(writer, {"id": req_id, "event": "result",
                             "ok": True, "cached": False,
@@ -313,6 +426,13 @@ class ReliabilityServer:
                 "in_flight_runs": self.coalescer.in_flight(),
             },
             "in_flight": self.in_flight,
+            "max_in_flight": self.max_in_flight,
+            "shed": self.shed,
+            "deadline_exceeded": self.deadline_exceeded,
+            "degraded": self.degraded,
+            "breakers": {op: breaker.stats()
+                         for op, breaker in self.breakers.items()},
+            "kernel_store": get_kernel_store().stats(),
             "progress_events": self._progress_events,
             "uptime_s": (time.monotonic() - self._started_at
                          if self._started_at is not None else 0.0),

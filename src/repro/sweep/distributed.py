@@ -51,7 +51,9 @@ import threading
 import time
 import uuid
 
-from ..errors import ParameterError
+import warnings
+
+from ..errors import ParameterError, ResilienceWarning
 from ..validation import require_int_in_range, require_positive
 from .runner import _flush_kernel_store
 
@@ -64,9 +66,37 @@ SWEEP_SPOOL_ENV = "REPRO_SWEEP_SPOOL"
 #: workers (the broker still steals, so the sweep cannot deadlock).
 SWEEP_SPAWN_ENV = "REPRO_SWEEP_SPAWN"
 
+#: Claim/retry attempts per chunk before the broker gives up on it
+#: (integer; overridden by an explicit ``max_attempts=``).
+SWEEP_MAX_ATTEMPTS_ENV = "REPRO_SWEEP_MAX_ATTEMPTS"
+
+#: Seconds without a heartbeat before a claimed chunk is declared
+#: stale and stolen back (float; overridden by an explicit
+#: ``heartbeat_timeout=``).
+SWEEP_HEARTBEAT_ENV = "REPRO_SWEEP_HEARTBEAT_TIMEOUT"
+
 #: Sentinel file name (in the spool root) that tells long-lived
 #: workers to exit: ``touch $REPRO_SWEEP_SPOOL/shutdown``.
 SHUTDOWN_SENTINEL = "shutdown"
+
+#: Spool-root directory poison-chunk records move to under
+#: ``on_poison="quarantine"``.
+QUARANTINE_DIR = "quarantine"
+
+
+def _env_number(name, cast):
+    """``cast(os.environ[name])``, None when unset/empty; the same
+    strictness as :data:`SWEEP_SPAWN_ENV` parsing — a present but
+    malformed knob is an error, never a silent default."""
+    raw = os.environ.get(name)
+    if raw in (None, ""):
+        return None
+    try:
+        return cast(raw)
+    except ValueError:
+        raise ParameterError(
+            f"{name} must be {'an integer' if cast is int else 'a number'}, "
+            f"got {raw!r}") from None
 
 _RUN_PREFIX = "run-"
 _JOB_SUFFIX = ".job"
@@ -249,6 +279,19 @@ class SpoolRun:
                 continue
         return min(ages) if ages else float("inf")
 
+    def discard_result(self, chunk):
+        """Drop a committed (error) result so the chunk can retry.
+
+        The at-most-once commit guard keys on the result file's
+        existence; unlinking it is what re-arms the chunk for a fresh
+        commit after the broker re-enqueues it.
+        """
+        try:
+            os.unlink(os.path.join(self.results_dir,
+                                   f"chunk-{chunk:06d}.pkl"))
+        except OSError:
+            pass
+
     def requeue(self, claim_path):
         """Steal a (stale) claim back onto the queue; returns the chunk.
 
@@ -400,7 +443,8 @@ class SpoolWorker:
     max_poll = 2.0
 
     def __init__(self, spool, worker_id=None, poll=0.05, max_idle=None,
-                 heartbeat_interval=None, timeout=None, max_poll=None):
+                 heartbeat_interval=None, timeout=None, max_poll=None,
+                 faults=None):
         self.spool = str(spool)
         require_positive(poll, "poll")
         if max_idle is not None:
@@ -422,6 +466,10 @@ class SpoolWorker:
         self.poll = float(poll)
         self.max_idle = max_idle
         self.timeout = timeout
+        #: Optional :class:`~repro.resilience.faults.WorkerFaults` —
+        #: the deterministic fault-injection seam the chaos tests use;
+        #: None (production) costs one attribute check per chunk.
+        self.faults = faults
         self.stats = {"chunks": 0, "points": 0, "errors": 0,
                       "duplicate_commits": 0}
         self._funcs = {}
@@ -520,10 +568,20 @@ class SpoolWorker:
         if claim is None:
             return False
         chunk, points, claim_path = claim
-        run.heartbeat(self.worker_id)
-        ticker = self._start_heartbeat_ticker(run)
+        stalled = (self.faults is not None
+                   and self.faults.heartbeat_stalled(chunk))
+        if not stalled:
+            run.heartbeat(self.worker_id)
+        ticker = self._start_heartbeat_ticker(run, stalled=stalled)
         try:
             try:
+                # The fault hook sits inside the Exception absorber on
+                # purpose: an injected chunk *failure* ships as an
+                # error payload like any real one, while an injected
+                # *kill* (BaseException) propagates — the claim goes
+                # stale exactly as if the process had died.
+                if self.faults is not None:
+                    self.faults.on_chunk(self.worker_id, chunk)
                 func = self._func_for(run)
                 values = [func(**params) for params in points]
                 payload = {"chunk": chunk, "values": values,
@@ -543,20 +601,22 @@ class SpoolWorker:
         _flush_kernel_store()
         return True
 
-    def _start_heartbeat_ticker(self, run):
+    def _start_heartbeat_ticker(self, run, stalled=False):
         """Touch the heartbeat in the background while a chunk runs.
 
         Liveness must not depend on point duration: a single point
         slower than the broker's ``heartbeat_timeout`` would otherwise
         look like a crash and be stolen (and, past ``max_attempts``,
         fail the run) despite a perfectly healthy worker. Returns a
-        stopper callable.
+        stopper callable. ``stalled`` (fault injection) freezes the
+        touches so the broker sees a dead worker that is still running.
         """
         stop = threading.Event()
 
         def tick():
             while not stop.wait(self.heartbeat_interval):
-                run.heartbeat(self.worker_id)
+                if not stalled:
+                    run.heartbeat(self.worker_id)
 
         thread = threading.Thread(target=tick, daemon=True)
         thread.start()
@@ -613,9 +673,20 @@ class DistributedBroker:
         :func:`schedule_chunks`.
     heartbeat_timeout:
         Seconds without a heartbeat before a claimed chunk is stolen
-        back onto the queue.
+        back onto the queue. Default: :data:`SWEEP_HEARTBEAT_ENV`,
+        else 10.
     max_attempts:
-        Claim attempts per chunk before the run is declared failed.
+        Attempts per chunk — stale-claim steals and shipped error
+        payloads both consume one — before the chunk is declared
+        poison. Default: :data:`SWEEP_MAX_ATTEMPTS_ENV`, else 3.
+    on_poison:
+        What to do with a chunk that exhausted ``max_attempts``:
+        ``"raise"`` (default) fails the run with the last error;
+        ``"quarantine"`` moves a poison record into the spool root's
+        ``quarantine/`` directory, completes the sweep with ``None``
+        values for that chunk's points, and warns
+        (:class:`~repro.errors.ResilienceWarning`) — partial results
+        with an explicit trace instead of a hung or failed campaign.
     spawn:
         Local workers to spawn; default ``jobs``
         (:data:`SWEEP_SPAWN_ENV` overrides — 0 with externally
@@ -634,8 +705,9 @@ class DistributedBroker:
     """
 
     def __init__(self, func, spool=None, jobs=None, chunk_size=None,
-                 heartbeat_timeout=10.0, poll=0.02, max_attempts=3,
-                 spawn=None, steal=True, timeout=None, progress=None):
+                 heartbeat_timeout=None, poll=0.02, max_attempts=None,
+                 spawn=None, steal=True, timeout=None, progress=None,
+                 on_poison="raise"):
         if not callable(func):
             raise ParameterError(f"func must be callable, got {func!r}")
         if progress is not None and not callable(progress):
@@ -645,9 +717,21 @@ class DistributedBroker:
             require_int_in_range(jobs, "jobs", 1, 4096)
         if chunk_size is not None:
             require_int_in_range(chunk_size, "chunk_size", 1, 1_000_000)
+        if heartbeat_timeout is None:
+            heartbeat_timeout = _env_number(SWEEP_HEARTBEAT_ENV, float)
+            if heartbeat_timeout is None:
+                heartbeat_timeout = 10.0
+        if max_attempts is None:
+            max_attempts = _env_number(SWEEP_MAX_ATTEMPTS_ENV, int)
+            if max_attempts is None:
+                max_attempts = 3
         require_positive(heartbeat_timeout, "heartbeat_timeout")
         require_positive(poll, "poll")
         require_int_in_range(max_attempts, "max_attempts", 1, 100)
+        if on_poison not in ("raise", "quarantine"):
+            raise ParameterError(
+                f"on_poison must be 'raise' or 'quarantine', got "
+                f"{on_poison!r}")
         if spawn is None:
             raw = os.environ.get(SWEEP_SPAWN_ENV)
             if raw not in (None, ""):
@@ -673,6 +757,7 @@ class DistributedBroker:
         self.steal = bool(steal)
         self.timeout = timeout
         self.progress = progress
+        self.on_poison = on_poison
         self.stats = {}
 
     def _n_workers(self):
@@ -699,14 +784,20 @@ class DistributedBroker:
             run = SpoolRun.create(spool, self.func)
             bounds = schedule_chunks(len(points), self._n_workers(),
                                      chunk_size=self.chunk_size)
-            for chunk, (start, stop) in enumerate(bounds):
-                run.enqueue(chunk, points[start:stop])
+            chunk_points = {chunk: points[start:stop]
+                            for chunk, (start, stop)
+                            in enumerate(bounds)}
+            for chunk, pts in chunk_points.items():
+                run.enqueue(chunk, pts)
             run.open()
             workers = self._spawn_workers(run)
             self.stats = {"chunks": len(bounds), "workers_spawned":
                           len(workers), "requeued": 0, "stolen": 0,
-                          "duplicates": 0, "attempts_max": 1}
-            results = self._gather(run, len(bounds), len(points))
+                          "duplicates": 0, "attempts_max": 1,
+                          "error_retries": 0, "steal_errors": 0,
+                          "attempts": {}, "quarantined": []}
+            results = self._gather(run, chunk_points, len(points),
+                                   spool)
             failed = False
         finally:
             if run is not None:
@@ -752,16 +843,22 @@ class DistributedBroker:
                 proc.terminate()
                 proc.join(timeout=5.0)
 
-    def _gather(self, run, n_chunks, n_points):
+    def _gather(self, run, chunk_points, n_points, spool):
+        n_chunks = len(chunk_points)
         results = {}
         attempts = dict.fromkeys(range(n_chunks), 1)
+        failed_workers = {}
         deadline = (time.monotonic() + self.timeout
                     if self.timeout is not None else None)
         while len(results) < n_chunks:
-            progressed = self._collect(run, results, n_points)
+            progressed = self._collect(run, results, attempts,
+                                       failed_workers, chunk_points,
+                                       n_points, spool)
             if len(results) >= n_chunks:
                 break
-            progressed |= self._requeue_stale(run, results, attempts)
+            progressed |= self._requeue_stale(run, results, attempts,
+                                              failed_workers,
+                                              chunk_points, spool)
             if self.steal:
                 progressed |= self._steal_one(run)
             if not progressed:
@@ -771,16 +868,41 @@ class DistributedBroker:
                         f"{self.timeout:g}s with {len(results)}/"
                         f"{n_chunks} chunks collected")
                 time.sleep(self.poll)
+        self.stats["attempts"] = {chunk: n for chunk, n
+                                  in attempts.items() if n > 1}
         return results
 
-    def _collect(self, run, results, n_points):
+    def _collect(self, run, results, attempts, failed_workers,
+                 chunk_points, n_points, spool):
         progressed = False
         for chunk, payload in run.collect(skip=results.keys()):
             if chunk in results:  # pragma: no cover - skip covers this
                 continue
             error = payload.get("error")
             if error is not None:
-                raise error
+                # A shipped failure consumes one attempt, like a stale
+                # claim: transient errors (a worker's flaky mount, an
+                # injected fault) retry on re-enqueue; persistent ones
+                # exhaust the budget and hit the poison policy.
+                failed_workers.setdefault(chunk, set()).add(
+                    payload.get("worker"))
+                if attempts[chunk] >= self.max_attempts:
+                    if self.on_poison == "raise":
+                        raise error
+                    run.discard_result(chunk)
+                    results[chunk] = self._quarantine(
+                        chunk, chunk_points[chunk], error,
+                        attempts[chunk], failed_workers[chunk], spool)
+                    progressed = True
+                    continue
+                attempts[chunk] += 1
+                self.stats["error_retries"] += 1
+                self.stats["attempts_max"] = max(
+                    self.stats["attempts_max"], attempts[chunk])
+                run.discard_result(chunk)
+                run.enqueue(chunk, chunk_points[chunk])
+                progressed = True
+                continue
             results[chunk] = payload
             progressed = True
             if self.progress is not None:
@@ -788,7 +910,8 @@ class DistributedBroker:
                 self.progress(done, n_points)
         return progressed
 
-    def _requeue_stale(self, run, results, attempts):
+    def _requeue_stale(self, run, results, attempts, failed_workers,
+                       chunk_points, spool):
         """Steal chunks back from workers whose heartbeat went stale."""
         progressed = False
         for chunk, wid, claim_path in run.claimed_jobs():
@@ -801,11 +924,21 @@ class DistributedBroker:
             age = run.heartbeat_age(wid, claim_path)
             if age <= self.heartbeat_timeout:
                 continue
+            failed_workers.setdefault(chunk, set()).add(wid)
             if attempts[chunk] >= self.max_attempts:
-                raise RuntimeError(
-                    f"chunk {chunk} failed {attempts[chunk]} claim "
-                    f"attempt(s) (last worker {wid} went silent for "
-                    f"{age:.1f}s); giving up")
+                if self.on_poison == "raise":
+                    raise RuntimeError(
+                        f"chunk {chunk} failed {attempts[chunk]} claim "
+                        f"attempt(s) (last worker {wid} went silent "
+                        f"for {age:.1f}s); giving up")
+                run.clear_claim(claim_path)
+                results[chunk] = self._quarantine(
+                    chunk, chunk_points[chunk],
+                    RuntimeError(f"worker {wid} went silent for "
+                                 f"{age:.1f}s"),
+                    attempts[chunk], failed_workers[chunk], spool)
+                progressed = True
+                continue
             if run.requeue(claim_path) is None:
                 continue
             attempts[chunk] += 1
@@ -815,15 +948,61 @@ class DistributedBroker:
             progressed = True
         return progressed
 
+    def _quarantine(self, chunk, points, error, n_attempts, workers,
+                    spool):
+        """Move a poison chunk's record aside; return a None-filled
+        stand-in payload so the sweep completes with partial results.
+
+        The record (points, last error, attempt count, the distinct
+        workers that failed it) lands in ``<spool>/quarantine/`` for
+        post-mortem; the chunk's points read as ``None`` in the sweep
+        values. Counted in ``stats["quarantined"]`` and warned about —
+        partial results must never look like a clean success.
+        """
+        workers = sorted(str(w) for w in workers if w is not None)
+        record_dir = os.path.join(spool, QUARANTINE_DIR)
+        record_path = os.path.join(record_dir,
+                                   f"chunk-{chunk:06d}.pkl")
+        try:
+            os.makedirs(record_dir, exist_ok=True)
+            _atomic_write(record_path, {
+                "chunk": int(chunk), "points": list(points),
+                "error": _picklable_error(error),
+                "attempts": int(n_attempts), "workers": workers})
+        except OSError:  # pragma: no cover - quarantine must not kill
+            record_path = None
+        self.stats["quarantined"].append(int(chunk))
+        warnings.warn(
+            f"chunk {chunk} quarantined after {n_attempts} attempt(s) "
+            f"across worker(s) {workers or ['<none>']} ({error!r}); "
+            f"its {len(points)} point(s) return None"
+            + (f"; record at {record_path}" if record_path else ""),
+            ResilienceWarning, stacklevel=4)
+        return {"chunk": int(chunk), "values": [None] * len(points),
+                "worker": None, "quarantined": True}
+
     def _steal_one(self, run):
-        """Evaluate one queued chunk inline while waiting on workers."""
+        """Evaluate one queued chunk inline while waiting on workers.
+
+        A failing point must ship as an error payload — exactly as a
+        worker would ship it — not propagate: the broker's gather loop
+        owns retry/poison accounting, and an exception here would
+        bypass it (and count nothing) entirely.
+        """
         claim = run.claim("broker")
         if claim is None:
             return False
         chunk, points, claim_path = claim
-        values = [self.func(**params) for params in points]
-        if not run.commit(chunk, {"chunk": chunk, "values": values,
-                                  "worker": "broker"}, "broker"):
+        try:
+            payload = {"chunk": chunk,
+                       "values": [self.func(**params)
+                                  for params in points],
+                       "worker": "broker"}
+        except Exception as exc:
+            payload = {"chunk": chunk, "error": _picklable_error(exc),
+                       "worker": "broker"}
+            self.stats["steal_errors"] += 1
+        if not run.commit(chunk, payload, "broker"):
             self.stats["duplicates"] += 1
         run.clear_claim(claim_path)
         self.stats["stolen"] += 1

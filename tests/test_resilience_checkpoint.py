@@ -1,0 +1,213 @@
+"""Checkpoint/resume: the crash-tolerance acceptance criteria.
+
+The load-bearing claim: a run killed mid-campaign and resumed from its
+checkpoint produces counters, draws, and UBER *byte-identical* to the
+uninterrupted seeded run — for both samplers and for flat and banked
+topologies. Everything else here (corrupt/stale/EIO fallbacks) defends
+the other half of the contract: a checkpoint that cannot be trusted
+degrades to a clean restart with a counted warning, never to wrong
+numbers.
+"""
+
+import dataclasses
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError, ResilienceWarning, RunAborted
+from repro.memsys import build_engine
+from repro.resilience import (
+    CheckpointManager,
+    FaultyFileSystem,
+    RunCheckpointer,
+    checkpoint_key,
+    corrupt_checkpoint,
+)
+from repro.units import nm_to_m
+
+#: Small but multi-batch run shape: 6 batches of 1024 transactions.
+N_TRANSACTIONS = 6 * 1024
+BATCH = 1024
+
+
+def _engine(device, sampler="bernoulli", rows=16, cols=16, **kwargs):
+    return build_engine(device, pitch=nm_to_m(70.0), rows=rows,
+                        cols=cols, ecc="secded", workload="random",
+                        sampler=sampler, **kwargs)
+
+
+class _KillAfter:
+    """Progress callback that aborts the run after ``n`` batches —
+    the in-process stand-in for a SIGKILL at a batch boundary."""
+
+    def __init__(self, n):
+        self.n = n
+        self.calls = 0
+
+    def __call__(self, done, total):
+        self.calls += 1
+        if self.calls >= self.n:
+            raise RunAborted("injected crash")
+
+
+class TestByteIdenticalResume:
+    @pytest.mark.parametrize("sampler", ["bernoulli", "binomial"])
+    def test_killed_run_resumes_byte_identical(self, eval_device,
+                                               tmp_path, sampler):
+        base = _engine(eval_device, sampler=sampler).run(
+            N_TRANSACTIONS, rng=np.random.default_rng(7),
+            batch_size=BATCH)
+
+        manager = CheckpointManager(str(tmp_path))
+        with pytest.raises(RunAborted):
+            _engine(eval_device, sampler=sampler).run(
+                N_TRANSACTIONS, rng=np.random.default_rng(7),
+                batch_size=BATCH, checkpoint=manager,
+                progress=_KillAfter(3))
+        assert manager.saves >= 1
+
+        resumed = _engine(eval_device, sampler=sampler).run(
+            N_TRANSACTIONS, rng=np.random.default_rng(7),
+            batch_size=BATCH, checkpoint=manager, resume=True)
+        assert dataclasses.asdict(resumed) == dataclasses.asdict(base)
+
+    def test_resume_of_completed_run_returns_stored_result(
+            self, eval_device, tmp_path):
+        manager = CheckpointManager(str(tmp_path))
+        first = _engine(eval_device).run(
+            N_TRANSACTIONS, rng=np.random.default_rng(7),
+            batch_size=BATCH, checkpoint=manager)
+        saves_after_first = manager.saves
+        again = _engine(eval_device).run(
+            N_TRANSACTIONS, rng=np.random.default_rng(7),
+            batch_size=BATCH, checkpoint=manager, resume=True)
+        assert dataclasses.asdict(again) == dataclasses.asdict(first)
+        # The finalized checkpoint answered outright: no new batches
+        # ran, so no new snapshots were written.
+        assert manager.saves == saves_after_first
+
+    def test_banked_topology_resumes_byte_identical(self, eval_device,
+                                                    tmp_path):
+        # 32x32 tiled 2x2: each 16x16 shard still fits a codeword.
+        kwargs = dict(topology="banked", banks=2, subarrays=2,
+                      rows=32, cols=32)
+        base = _engine(eval_device, **kwargs).run(
+            N_TRANSACTIONS, rng=np.random.default_rng(7),
+            batch_size=BATCH)
+
+        manager = CheckpointManager(str(tmp_path))
+        with pytest.raises(RunAborted):
+            _engine(eval_device, **kwargs).run(
+                N_TRANSACTIONS, rng=np.random.default_rng(7),
+                batch_size=BATCH, checkpoint=manager,
+                progress=_KillAfter(3))
+        # Per-shard tags: the kill landed inside one of the 4 shards.
+        assert any(tag.startswith("shard-")
+                   for tag in manager.tags())
+
+        resumed = _engine(eval_device, **kwargs).run(
+            N_TRANSACTIONS, rng=np.random.default_rng(7),
+            batch_size=BATCH, checkpoint=manager, resume=True)
+        assert dataclasses.asdict(resumed) == dataclasses.asdict(base)
+
+
+class TestFallbacks:
+    def test_corrupt_checkpoint_restarts_clean(self, eval_device,
+                                               tmp_path):
+        base = _engine(eval_device).run(
+            N_TRANSACTIONS, rng=np.random.default_rng(7),
+            batch_size=BATCH)
+        manager = CheckpointManager(str(tmp_path))
+        with pytest.raises(RunAborted):
+            _engine(eval_device).run(
+                N_TRANSACTIONS, rng=np.random.default_rng(7),
+                batch_size=BATCH, checkpoint=manager,
+                progress=_KillAfter(3))
+        corrupt_checkpoint(os.path.join(str(tmp_path), "run.ckpt"))
+
+        with pytest.warns(ResilienceWarning, match="corrupt"):
+            resumed = _engine(eval_device).run(
+                N_TRANSACTIONS, rng=np.random.default_rng(7),
+                batch_size=BATCH, checkpoint=manager, resume=True)
+        assert manager.corrupt_fallbacks == 1
+        # Clean restart, not wrong numbers: the full seeded run again.
+        assert dataclasses.asdict(resumed) == dataclasses.asdict(base)
+
+    def test_stale_checkpoint_is_not_inherited(self, tmp_path):
+        manager = CheckpointManager(str(tmp_path))
+        manager.save("run", {"key": checkpoint_key(("config-a", 1)),
+                             "done": 10})
+        with pytest.warns(ResilienceWarning, match="different run"):
+            payload = manager.load(
+                "run", expect_key=checkpoint_key(("config-b", 1)))
+        assert payload is None
+        assert manager.stale_fallbacks == 1
+
+    def test_save_failure_warns_and_continues(self, tmp_path):
+        fs = FaultyFileSystem(fail_replace_at={1})
+        manager = CheckpointManager(str(tmp_path), fs=fs)
+        with pytest.warns(ResilienceWarning, match="save failed"):
+            assert manager.save("run", {"key": "k"}) is False
+        assert manager.save("run", {"key": "k"}) is True
+        assert manager.save_failures == 1
+        assert manager.saves == 1
+        assert fs.injected == 1
+
+    def test_unreadable_and_truncated_blobs_are_corrupt(self,
+                                                        tmp_path):
+        manager = CheckpointManager(str(tmp_path))
+        manager.save("run", {"key": "k", "state": list(range(100))})
+        path = os.path.join(str(tmp_path), "run.ckpt")
+        with open(path, "rb") as handle:
+            blob = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(blob[:len(blob) // 2])
+        with pytest.warns(ResilienceWarning, match="corrupt"):
+            assert manager.load("run") is None
+        assert manager.corrupt_fallbacks == 1
+
+
+class TestCheckpointPlumbing:
+    def test_checkpoint_key_is_stable_and_discriminating(self):
+        assert checkpoint_key(("a", 1)) == checkpoint_key(("a", 1))
+        assert checkpoint_key(("a", 1)) != checkpoint_key(("a", 2))
+        assert len(checkpoint_key(("a", 1))) == 32
+
+    def test_save_load_round_trip(self, tmp_path):
+        manager = CheckpointManager(str(tmp_path))
+        payload = {"key": "k", "state": np.arange(8), "done": 3}
+        assert manager.save("run", payload)
+        loaded = manager.load("run", expect_key="k")
+        assert loaded["done"] == 3
+        np.testing.assert_array_equal(loaded["state"], np.arange(8))
+
+    def test_tags_and_delete(self, tmp_path):
+        manager = CheckpointManager(str(tmp_path))
+        manager.save("shard-0", {"key": "k"})
+        manager.save("shard-1", {"key": "k"})
+        assert manager.tags() == ["shard-0", "shard-1"]
+        manager.delete("shard-0")
+        assert manager.tags() == ["shard-1"]
+        manager.delete("shard-0")  # idempotent
+
+    def test_rejects_path_traversal_tags(self, tmp_path):
+        manager = CheckpointManager(str(tmp_path))
+        for tag in ("", "../escape", "a/b", ".hidden"):
+            with pytest.raises(ParameterError):
+                manager.save(tag, {"key": "k"})
+
+    def test_cadence_gates_snapshot_frequency(self, tmp_path):
+        manager = CheckpointManager(str(tmp_path))
+        checkpointer = RunCheckpointer(manager, every=100)
+        assert checkpointer.maybe_save(0, lambda: {"key": "k"})
+        assert not checkpointer.maybe_save(50, lambda: {"key": "k"})
+        assert checkpointer.maybe_save(150, lambda: {"key": "k"})
+        assert manager.saves == 2
+
+    def test_missing_checkpoint_is_a_silent_miss(self, tmp_path):
+        # Absence is the normal first-run case: no warning, no counter.
+        manager = CheckpointManager(str(tmp_path))
+        assert manager.load("run") is None
+        assert manager.corrupt_fallbacks == 0
+        assert manager.stale_fallbacks == 0

@@ -1,0 +1,202 @@
+"""The fault-injection harness itself, plus breaker/retry pacing.
+
+The harness must be deterministic to be useful: a chaos failure
+reproduces from ``FaultPlan(seed, kind)`` alone, so these tests pin
+the plan derivation, the scheduled-failure shims, and the seeded
+backoff schedules byte-for-byte.
+"""
+
+import errno
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.resilience import (
+    FAULT_KINDS,
+    CircuitBreaker,
+    FaultClock,
+    FaultPlan,
+    FaultyFileSystem,
+    RetryPolicy,
+    WorkerFaults,
+    WorkerKilled,
+    call_with_retry,
+)
+
+
+class TestFaultPlan:
+    @pytest.mark.parametrize("kind", FAULT_KINDS)
+    def test_same_seed_same_plan(self, kind):
+        a, b = FaultPlan(11, kind), FaultPlan(11, kind)
+        assert a.describe() == b.describe()
+        assert (a.target_chunk, a.corrupt_offset, a.corrupt_flip,
+                a.replace_ordinal) == (b.target_chunk,
+                                       b.corrupt_offset,
+                                       b.corrupt_flip,
+                                       b.replace_ordinal)
+
+    def test_seeds_decorrelate_targets(self):
+        targets = {FaultPlan(seed, "worker-kill", n_chunks=16)
+                   .target_chunk for seed in range(8)}
+        assert len(targets) > 1
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ParameterError, match="unknown fault kind"):
+            FaultPlan(0, "meteor-strike")
+
+    def test_plan_builds_matching_artifacts(self):
+        assert FaultPlan(0, "worker-kill").worker_faults() \
+            .kill_at_chunk is not None
+        poison = FaultPlan(0, "poison-chunk").worker_faults()
+        assert poison.fail_at_chunk is not None and not poison.fail_once
+        assert FaultPlan(0, "stall-heartbeat").worker_faults() \
+            .stall_heartbeat_at_chunk is not None
+        assert FaultPlan(0, "corrupt-checkpoint").worker_faults() is None
+        fs = FaultPlan(0, "eio-on-rename").filesystem()
+        assert isinstance(fs, FaultyFileSystem)
+        assert fs.fail_replace_at
+
+
+class TestFaultyFileSystem:
+    def test_fails_scheduled_replace_ordinal(self, tmp_path):
+        fs = FaultyFileSystem(fail_replace_at={2})
+        src, dst = str(tmp_path / "src"), str(tmp_path / "dst")
+        for _ in range(2):
+            fs.write_bytes(src, b"payload")
+        fs.replace(src, dst)                       # ordinal 1: fine
+        fs.write_bytes(src, b"payload")
+        with pytest.raises(OSError) as excinfo:
+            fs.replace(src, dst)                   # ordinal 2: EIO
+        assert excinfo.value.errno == errno.EIO
+        assert fs.injected == 1
+        fs.replace(src, dst)                       # ordinal 3: fine
+
+    def test_matching_filter_scopes_the_ordinals(self, tmp_path):
+        fs = FaultyFileSystem(fail_write_at={1},
+                              fail_write_matching=".ckpt")
+        fs.write_bytes(str(tmp_path / "other.txt"), b"x")  # not counted
+        with pytest.raises(OSError):
+            fs.write_bytes(str(tmp_path / "run.ckpt"), b"x")
+        assert fs.write_calls == 1
+
+
+class TestWorkerFaults:
+    def test_kill_once_arms_a_single_time(self):
+        faults = WorkerFaults(kill_at_chunk=2)
+        faults.on_chunk("w1", 0)
+        with pytest.raises(WorkerKilled) as excinfo:
+            faults.on_chunk("w1", 2)
+        assert excinfo.value.chunk == 2
+        faults.on_chunk("w2", 2)       # retry survives
+        assert faults.kills == 1
+
+    def test_persistent_failure_ships_ordinary_errors(self):
+        faults = WorkerFaults(fail_at_chunk=1, fail_once=False)
+        for _ in range(3):
+            with pytest.raises(RuntimeError, match="injected"):
+                faults.on_chunk("w1", 1)
+        assert faults.failures == 3
+
+    def test_worker_killed_escapes_exception_absorbers(self):
+        # The load-bearing type property: a plain `except Exception`
+        # (the worker's error-payload absorber) must NOT catch a kill.
+        assert not issubclass(WorkerKilled, Exception)
+        assert issubclass(WorkerKilled, BaseException)
+
+    def test_stall_reports_only_the_target_chunk(self):
+        faults = WorkerFaults(stall_heartbeat_at_chunk=3)
+        assert not faults.heartbeat_stalled(0)
+        assert faults.heartbeat_stalled(3)
+
+
+class TestFaultClock:
+    def test_sleep_advances_instead_of_blocking(self):
+        clock = FaultClock(start=100.0)
+        clock.sleep(5.0)
+        clock.advance(2.5)
+        assert clock.monotonic() == 107.5
+        assert clock.time() == 107.5
+        assert clock.sleeps == [5.0]
+
+
+class TestCircuitBreaker:
+    def test_full_open_halfopen_closed_cycle(self):
+        clock = FaultClock()
+        breaker = CircuitBreaker(failure_threshold=2,
+                                 reset_timeout=10.0, clock=clock)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()            # rejected while open
+        assert breaker.stats()["rejected"] == 1
+        clock.advance(10.0)
+        assert breaker.allow()                # the half-open probe
+        assert breaker.state == "half-open"
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_failed_probe_reopens_for_a_full_window(self):
+        clock = FaultClock()
+        breaker = CircuitBreaker(failure_threshold=1,
+                                 reset_timeout=10.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure()              # probe failed
+        assert breaker.state == "open"
+        clock.advance(5.0)
+        assert not breaker.allow()            # window restarted
+
+    def test_success_resets_the_failure_count(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+
+class TestRetryPolicy:
+    def test_schedule_is_seeded_and_capped(self):
+        a = RetryPolicy(base=1.0, factor=2.0, cap=5.0, jitter=0.25,
+                        seed=3)
+        b = RetryPolicy(base=1.0, factor=2.0, cap=5.0, jitter=0.25,
+                        seed=3)
+        schedule = [a.delay(k) for k in range(1, 6)]
+        assert schedule == [b.delay(k) for k in range(1, 6)]
+        assert all(d <= 5.0 * 1.25 for d in schedule)
+        # Exponential growth up to the cap, jitter notwithstanding.
+        assert schedule[2] > schedule[0]
+
+    def test_zero_jitter_is_pure_exponential(self):
+        policy = RetryPolicy(base=0.5, factor=2.0, cap=30.0, jitter=0.0)
+        assert [policy.delay(k) for k in (1, 2, 3)] == [0.5, 1.0, 2.0]
+
+    def test_exhaustion_budget(self):
+        policy = RetryPolicy(max_attempts=2)
+        assert not policy.exhausted(1)
+        assert policy.exhausted(2)
+        assert not RetryPolicy().exhausted(10**6)
+
+    def test_call_with_retry_recovers_then_propagates(self):
+        clock = FaultClock()
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise OSError("transient")
+            return "ok"
+
+        policy = RetryPolicy(base=0.1, jitter=0.0, max_attempts=5)
+        assert call_with_retry(flaky, policy, clock=clock,
+                               retry_on=OSError) == "ok"
+        assert len(attempts) == 3
+        assert clock.sleeps == [0.1, 0.2]
+
+        policy = RetryPolicy(base=0.1, jitter=0.0, max_attempts=2)
+        with pytest.raises(OSError):
+            call_with_retry(lambda: (_ for _ in ()).throw(
+                OSError("always")), policy, clock=clock,
+                retry_on=OSError)

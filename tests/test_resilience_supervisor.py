@@ -1,0 +1,299 @@
+"""Fleet supervisor: scaling, crash-restart, retire — then for real.
+
+The unit half injects a scripted spool view, a fake spawner, and a
+:class:`FaultClock`, so a full scale-up / crash-backoff / give-up /
+retire lifecycle runs with zero real processes and zero real seconds.
+The integration half is the ISSUE's acceptance demo: a dense grid
+queued on a real spool, real ``repro worker`` subprocesses spawned
+against it, results byte-identical to serial, fleet retired on idle.
+"""
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.errors import ResilienceWarning
+from repro.resilience import FaultClock, FleetSupervisor, SpoolView
+from repro.resilience.shims import ProcessSpawner
+from repro.sweep.distributed import (
+    SHUTDOWN_SENTINEL,
+    SWEEP_SPOOL_ENV,
+    DistributedBroker,
+    SpoolRun,
+)
+
+
+def grid_point(a, b):
+    return a * 10 + b
+
+
+class FakeHandle:
+    def __init__(self, worker_id):
+        self.worker_id = worker_id
+        self._alive = True
+        self._code = None
+        self.terminated = False
+
+    def alive(self):
+        return self._alive
+
+    def returncode(self):
+        return self._code
+
+    def terminate(self):
+        self.terminated = True
+        self._alive = False
+        if self._code is None:
+            self._code = 0
+
+    def wait(self, timeout=None):
+        return self._code
+
+    def crash(self, code=1):
+        self._alive = False
+        self._code = code
+
+    def exit_clean(self):
+        self._alive = False
+        self._code = 0
+
+
+class FakeSpawner:
+    def __init__(self):
+        self.spawned = []
+
+    def spawn(self, spool, worker_id):
+        handle = FakeHandle(worker_id)
+        self.spawned.append(handle)
+        return handle
+
+
+class ScriptedView:
+    """Replays a scripted sequence of spool states (last one sticks)."""
+
+    def __init__(self, *states):
+        self.states = list(states)
+
+    def scan(self):
+        state = (self.states.pop(0) if len(self.states) > 1
+                 else self.states[0])
+        return {"open_runs": state.get("open_runs", 1),
+                "queued": state.get("queued", 0),
+                "claimed": state.get("claimed", 0),
+                "live_workers": set(state.get("live", ()))}
+
+
+def _supervisor(tmp_path, view, **kwargs):
+    kwargs.setdefault("spawner", FakeSpawner())
+    kwargs.setdefault("clock", FaultClock())
+    return FleetSupervisor(spool=str(tmp_path), view=view, **kwargs)
+
+
+class TestScaling:
+    def test_scales_to_demand_clamped_at_max(self, tmp_path):
+        sup = _supervisor(tmp_path, ScriptedView({"queued": 10}),
+                          latency_target=2.0, chunk_cost=1.0,
+                          max_workers=3)
+        sup.step()
+        # drain time 10s against a 2s target wants 5; ceiling is 3.
+        assert len(sup.handles) == 3
+        assert sup.stats["spawned"] == 3
+        assert sup.stats["peak_workers"] == 3
+
+    def test_small_queue_still_gets_one_worker(self, tmp_path):
+        sup = _supervisor(tmp_path, ScriptedView({"queued": 1}),
+                          latency_target=30.0, chunk_cost=0.1)
+        sup.step()
+        assert len(sup.handles) == 1
+
+    def test_external_workers_count_toward_capacity(self, tmp_path):
+        sup = _supervisor(
+            tmp_path,
+            ScriptedView({"queued": 4, "live": ("ext-1", "ext-2")}),
+            latency_target=1.0, chunk_cost=1.0, max_workers=8)
+        sup.step()
+        # Demand 4, two hand-started workers already live: spawn 2.
+        assert len(sup.handles) == 2
+
+    def test_no_spool_anywhere_is_an_error(self, monkeypatch):
+        monkeypatch.delenv(SWEEP_SPOOL_ENV, raising=False)
+        with pytest.raises(ValueError, match="no spool"):
+            FleetSupervisor()
+
+
+class TestCrashRestart:
+    def test_crash_restarts_after_backoff(self, tmp_path):
+        clock = FaultClock()
+        sup = _supervisor(tmp_path, ScriptedView({"queued": 1}),
+                          clock=clock, max_workers=1,
+                          backoff_base=1.0, max_restarts=5)
+        sup.step()
+        handle = next(iter(sup.handles.values()))
+        handle.crash(code=1)
+        sup.step()
+        # Reaped, restart scheduled — but the backoff gates respawn.
+        assert not sup.handles
+        assert sup.stats["crashes"] == 1
+        assert sup.stats["restarts"] == 1
+        clock.advance(10.0)
+        sup.step()
+        assert len(sup.handles) == 1
+        assert sup.stats["spawned"] == 2
+
+    def test_gives_up_after_max_restarts_with_warning(self, tmp_path):
+        clock = FaultClock()
+        sup = _supervisor(tmp_path, ScriptedView({"queued": 1}),
+                          clock=clock, max_workers=1,
+                          backoff_base=0.1, max_restarts=1)
+        sup.step()
+        next(iter(sup.handles.values())).crash()
+        sup.step()                      # crash 1: restart scheduled
+        clock.advance(10.0)
+        sup.step()                      # respawn
+        next(iter(sup.handles.values())).crash()
+        with pytest.warns(ResilienceWarning, match="not respawning"):
+            sup.step()                  # crash 2 > max_restarts
+        clock.advance(100.0)
+        sup.step()
+        assert not sup.handles          # crash loop starved, not fed
+        assert sup.stats["crashes"] == 2
+
+    def test_clean_exit_resets_the_crash_ladder(self, tmp_path):
+        clock = FaultClock()
+        sup = _supervisor(tmp_path, ScriptedView({"queued": 1}),
+                          clock=clock, max_workers=1,
+                          backoff_base=0.1, max_restarts=1)
+        sup.step()
+        next(iter(sup.handles.values())).crash()
+        sup.step()
+        clock.advance(10.0)
+        sup.step()
+        next(iter(sup.handles.values())).exit_clean()
+        sup.step()                      # self-retired, not a crash
+        assert sup._crashes == 0
+        assert sup.stats["crashes"] == 1
+
+
+class TestRetire:
+    def test_idle_grace_then_retire_to_floor(self, tmp_path):
+        clock = FaultClock()
+        view = ScriptedView({"queued": 6}, {"queued": 0})
+        sup = _supervisor(tmp_path, view, clock=clock,
+                          latency_target=1.0, chunk_cost=1.0,
+                          max_workers=3, min_workers=1,
+                          idle_grace=5.0)
+        sup.step()                      # busy: fleet up
+        assert len(sup.handles) == 3
+        sup.step()                      # idle: grace starts
+        assert len(sup.handles) == 3
+        clock.advance(5.0)
+        sup.step()                      # grace over: retire to floor
+        assert len(sup.handles) == 1
+        assert sup.stats["retired"] == 2
+
+    def test_run_until_idle_winds_the_fleet_down(self, tmp_path):
+        clock = FaultClock()
+        view = ScriptedView({"queued": 2}, {"queued": 1},
+                            {"queued": 0})
+        sup = _supervisor(tmp_path, view, clock=clock,
+                          latency_target=1.0, chunk_cost=1.0,
+                          max_workers=2, idle_grace=0.5, poll=0.5)
+        stats = sup.run(until_idle=True)
+        assert not sup.handles
+        assert stats["spawned"] >= 1
+        assert stats["retired"] == stats["spawned"]
+
+    def test_shutdown_sentinel_stops_the_loop(self, tmp_path):
+        with open(os.path.join(str(tmp_path), SHUTDOWN_SENTINEL),
+                  "w"):
+            pass
+        sup = _supervisor(tmp_path, ScriptedView({"queued": 5}))
+        stats = sup.run()
+        assert stats["steps"] == 0
+        assert not sup.handles
+
+
+class TestSpoolView:
+    def test_scan_reduces_a_real_spool(self, tmp_path):
+        run = SpoolRun.create(str(tmp_path), grid_point)
+        run.enqueue(0, [{"a": 1, "b": 2}])
+        run.enqueue(1, [{"a": 3, "b": 4}])
+        view = SpoolView(str(tmp_path))
+        assert view.scan() == {"open_runs": 0, "queued": 0,
+                               "claimed": 0, "live_workers": set()}
+        run.open()
+        state = view.scan()
+        assert state["open_runs"] == 1
+        assert state["queued"] == 2 and state["claimed"] == 0
+
+        run.claim("w1")
+        run.heartbeat("w1")
+        state = view.scan()
+        assert state["queued"] == 1 and state["claimed"] == 1
+        assert state["live_workers"] == {"w1"}
+
+        run.mark_done()
+        assert view.scan()["open_runs"] == 0
+
+    def test_missing_spool_reads_empty(self, tmp_path):
+        view = SpoolView(str(tmp_path / "nowhere"))
+        assert view.scan()["queued"] == 0
+
+
+@pytest.mark.integration
+class TestFleetDemo:
+    def test_fleet_scales_up_completes_identical_and_retires(
+            self, tmp_path, monkeypatch):
+        """The acceptance demo: dense grid queued, real workers
+        spawned against the latency target, results byte-identical to
+        serial, fleet retired once the spool drains."""
+        # Spawned `repro worker` interpreters must import both the
+        # library and this test module (the pickled grid function).
+        here = os.path.dirname(os.path.abspath(__file__))
+        src = os.path.join(here, os.pardir, "src")
+        extra = ([os.environ["PYTHONPATH"]]
+                 if os.environ.get("PYTHONPATH") else [])
+        monkeypatch.setenv("PYTHONPATH",
+                           os.pathsep.join([src, here] + extra))
+
+        points = [{"a": a, "b": b} for a in range(4)
+                  for b in range(3)]
+        serial = [grid_point(**p) for p in points]
+
+        spool = str(tmp_path / "spool")
+        os.makedirs(spool)
+        broker = DistributedBroker(
+            grid_point, spool=spool, chunk_size=1, spawn=0,
+            steal=False, heartbeat_timeout=10.0, poll=0.05,
+            timeout=120.0)
+        holder = {}
+
+        def gather():
+            holder["values"] = broker.run(points)
+
+        thread = threading.Thread(target=gather)
+        thread.start()
+        try:
+            view = SpoolView(spool)
+            stop_at = time.monotonic() + 30.0
+            while view.scan()["queued"] == 0:
+                assert time.monotonic() < stop_at, "grid never queued"
+                assert thread.is_alive()
+                time.sleep(0.02)
+
+            supervisor = FleetSupervisor(
+                spool=spool, latency_target=0.5, chunk_cost=1.0,
+                max_workers=2, idle_grace=0.3, poll=0.1,
+                spawner=ProcessSpawner(max_idle=2.0, timeout=60.0))
+            stats = supervisor.run(until_idle=True, duration=90.0)
+        finally:
+            thread.join(timeout=120.0)
+        assert not thread.is_alive()
+
+        assert holder["values"] == serial
+        assert stats["spawned"] >= 1          # scaled up under load
+        assert stats["peak_workers"] >= 1
+        assert not supervisor.handles          # retired on idle
+        assert broker.stats["quarantined"] == []

@@ -87,6 +87,13 @@ class TestDiskTier:
         path.write_text("{ not json")
         assert cache.get(KEY_A) is None
         assert not path.exists()
+        assert cache.stats()["disk_corrupt"] == 1
+
+    def test_non_dict_disk_payload_counts_as_corrupt(self, tmp_path):
+        cache = ResultsCache(capacity=4, directory=str(tmp_path))
+        (tmp_path / f"{KEY_A}.json").write_text("[1, 2, 3]")
+        assert cache.get(KEY_A) is None
+        assert cache.stats()["disk_corrupt"] == 1
 
     def test_unwritable_directory_is_not_fatal(self, tmp_path):
         blocked = tmp_path / "file-not-dir"

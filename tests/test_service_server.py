@@ -21,6 +21,7 @@ import pytest
 from repro.errors import ParameterError, ServiceError
 from repro.service import ReliabilityServer, ServiceClient
 from repro.service.runners import RUNNERS
+from repro.sweep.distributed import SWEEP_SPOOL_ENV
 
 #: Cheap deterministic operating point reused across tests (16x16 is
 #: the smallest array holding a 72-bit SEC-DED codeword comfortably).
@@ -230,6 +231,209 @@ class TestDrain:
 
             assert holder["event"]["ok"]
             assert not os.path.exists(path)   # socket cleaned up
+
+        asyncio.run(main())
+
+
+class TestHardening:
+    """Deadlines, load shedding, and the per-op circuit breaker."""
+
+    def test_overload_sheds_instead_of_queueing(self, tmp_path,
+                                                monkeypatch):
+        path = str(tmp_path / "svc.sock")
+        release = threading.Event()
+        real_uber = RUNNERS["uber"]
+
+        def gated_uber(query, abort, publish):
+            release.wait(30.0)
+            return real_uber(query, abort, publish)
+
+        monkeypatch.setitem(RUNNERS, "uber", gated_uber)
+
+        def body(server):
+            holder = {}
+
+            def slow_query():
+                with ServiceClient(path=path) as client:
+                    holder["event"] = client.query("uber", **SMALL)
+
+            thread = threading.Thread(target=slow_query)
+            thread.start()
+            deadline = time.monotonic() + 10.0
+            while server.in_flight == 0:
+                assert time.monotonic() < deadline
+                time.sleep(0.005)
+            try:
+                with ServiceClient(path=path) as client:
+                    with pytest.raises(ServiceError,
+                                       match="overloaded"):
+                        client.query("uber", rows=16, cols=16,
+                                     pitch_nm=71.0)
+                    # stats is served ahead of the shed gate, so the
+                    # ops surface stays reachable under load.
+                    stats = client.query("stats")["result"]
+            finally:
+                release.set()
+                thread.join(timeout=30.0)
+            assert stats["shed"] == 1
+            assert stats["max_in_flight"] == 1
+            assert holder["event"]["ok"]    # the admitted query lands
+
+        _serve(body, path=path, max_in_flight=1)
+
+    def test_deadline_exceeded_is_reported_not_hung(self, tmp_path,
+                                                    monkeypatch):
+        path = str(tmp_path / "svc.sock")
+        release = threading.Event()
+        real_uber = RUNNERS["uber"]
+
+        def gated_uber(query, abort, publish):
+            release.wait(30.0)
+            return real_uber(query, abort, publish)
+
+        monkeypatch.setitem(RUNNERS, "uber", gated_uber)
+
+        def body(server):
+            try:
+                with ServiceClient(path=path) as client:
+                    with pytest.raises(ServiceError, match="deadline"):
+                        client.query("uber", deadline_s=0.2, **SMALL)
+                    stats = client.query("stats")["result"]
+            finally:
+                release.set()
+            assert stats["deadline_exceeded"] == 1
+            # A missed deadline says nothing about backend health.
+            assert stats["breakers"]["uber"]["state"] == "closed"
+
+        _serve(body, path=path)
+
+    def test_deadline_must_be_a_positive_number(self, tmp_path):
+        path = str(tmp_path / "svc.sock")
+
+        def body(server):
+            with ServiceClient(path=path) as client:
+                with pytest.raises(ServiceError,
+                                   match="deadline_s must be"):
+                    client.query("uber", deadline_s=-1, **SMALL)
+                with pytest.raises(ServiceError,
+                                   match="deadline_s must be"):
+                    client.query("uber", deadline_s="soon", **SMALL)
+
+        _serve(body, path=path)
+
+    def test_breaker_opens_degrades_and_keeps_serving_cache(
+            self, tmp_path, monkeypatch):
+        path = str(tmp_path / "svc.sock")
+
+        def boom(query, abort, publish):
+            raise RuntimeError("kaboom")
+
+        def body(server):
+            with ServiceClient(path=path) as client:
+                good = client.query("uber", **SMALL)
+                assert good["ok"]
+
+                monkeypatch.setitem(RUNNERS, "uber", boom)
+                for pitch in (71.0, 72.0):
+                    with pytest.raises(ServiceError,
+                                       match="internal error"):
+                        client.query("uber", rows=16, cols=16,
+                                     pitch_nm=pitch)
+                # Threshold reached: new uber work answers degraded
+                # without touching the failing backend.
+                with pytest.raises(ServiceError,
+                                   match="circuit-broken"):
+                    client.query("uber", rows=16, cols=16,
+                                 pitch_nm=73.0)
+                # Cache hits bypass the breaker entirely.
+                again = client.query("uber", **SMALL)
+                assert again["cached"]
+                assert again["result"] == good["result"]
+
+                stats = client.query("stats")["result"]
+            assert stats["degraded"] == 1
+            breaker = stats["breakers"]["uber"]
+            assert breaker["state"] == "open"
+            assert breaker["times_opened"] == 1
+
+        _serve(body, path=path, breaker_threshold=2,
+               breaker_reset=60.0)
+
+    def test_stats_exposes_the_hardening_surface(self, tmp_path):
+        path = str(tmp_path / "svc.sock")
+
+        def body(server):
+            with ServiceClient(path=path) as client:
+                stats = client.query("stats")["result"]
+            assert stats["shed"] == 0
+            assert stats["deadline_exceeded"] == 0
+            assert stats["degraded"] == 0
+            assert stats["breakers"] == {}
+            assert stats["cache"]["disk_corrupt"] == 0
+            # The kernel store is surfaced too (disk_fallbacks joins
+            # these base counters when a disk tier is attached).
+            store = stats["kernel_store"]
+            assert {"entries", "hits", "misses"} <= set(store)
+            assert all(isinstance(v, int) for v in store.values())
+
+        _serve(body, path=path)
+
+
+class TestDistributedSweepDrain:
+    def test_drain_mid_distributed_sweep_delivers_result(
+            self, tmp_path, monkeypatch):
+        """SIGTERM-equivalent drain while a distributed sweep is in
+        flight: the spool run finishes, the client gets its result,
+        and only then does the server exit."""
+        spool = str(tmp_path / "spool")
+        os.makedirs(spool)
+        monkeypatch.setenv(SWEEP_SPOOL_ENV, spool)
+        path = str(tmp_path / "svc.sock")
+        release = threading.Event()
+        real_sweep = RUNNERS["sweep"]
+
+        def gated_sweep(query, abort, publish):
+            release.wait(30.0)
+            return real_sweep(query, abort, publish)
+
+        monkeypatch.setitem(RUNNERS, "sweep", gated_sweep)
+
+        async def main():
+            server = ReliabilityServer(path=path, capacity=16)
+            await server.start()
+            serve_task = asyncio.create_task(
+                server.serve_forever(install_signals=False))
+
+            holder = {}
+
+            def sweep_query():
+                with ServiceClient(path=path,
+                                   timeout=180.0) as client:
+                    holder["event"] = client.query(
+                        "sweep", pitch_ratios=[3.0, 2.0],
+                        patterns=["random"], eccs=["secded"],
+                        rows=16, cols=16, executor="distributed",
+                        jobs=1)
+
+            thread = threading.Thread(target=sweep_query)
+            thread.start()
+            while server.in_flight == 0:
+                await asyncio.sleep(0.005)
+
+            server.request_stop()       # drain begins mid-sweep
+            await asyncio.sleep(0.05)
+            assert not serve_task.done()
+            release.set()
+            await asyncio.wait_for(serve_task, timeout=180.0)
+            thread.join(timeout=180.0)
+            assert not thread.is_alive()
+
+            event = holder["event"]
+            assert event["ok"]
+            assert event["result"]["executor"] == "distributed"
+            assert len(event["result"]["rows"]) == 2
+            # The spool outlives the drain for the next campaign.
+            assert os.path.isdir(spool)
 
         asyncio.run(main())
 

@@ -9,12 +9,13 @@ a stale heartbeat losing its claim, and duplicate result commits.
 from __future__ import annotations
 
 import os
+import pickle
 import threading
 import time
 
 import pytest
 
-from repro.errors import ParameterError
+from repro.errors import ParameterError, ResilienceWarning
 from repro.sweep import (
     SHUTDOWN_SENTINEL,
     SWEEP_SPAWN_ENV,
@@ -25,7 +26,13 @@ from repro.sweep import (
     run_sweep,
     schedule_chunks,
 )
-from repro.sweep.distributed import SpoolRun, worker_main
+from repro.sweep.distributed import (
+    QUARANTINE_DIR,
+    SWEEP_HEARTBEAT_ENV,
+    SWEEP_MAX_ATTEMPTS_ENV,
+    SpoolRun,
+    worker_main,
+)
 from repro.validation import require_positive
 
 
@@ -54,6 +61,23 @@ def crash_once_point(a, marker):
 def slow_point(a, delay):
     time.sleep(delay)
     return a + 1
+
+
+def fail_once_point(a, marker):
+    """Ships one error payload (by marker), then succeeds on retry."""
+    try:
+        with open(marker, "x"):
+            pass
+    except FileExistsError:
+        return a * 10
+    raise RuntimeError("injected transient failure")
+
+
+def poison_point(a, poison_at):
+    """Fails every attempt at one point — a genuinely poison chunk."""
+    if a == poison_at:
+        raise RuntimeError("this point is poison")
+    return a * 10
 
 
 class TestScheduleChunks:
@@ -251,7 +275,9 @@ class TestFaultInjection:
         broker.stats = {"requeued": 0, "duplicates": 0,
                         "attempts_max": 1}
         attempts = {0: 1}
-        assert broker._requeue_stale(run, {}, attempts)
+        assert broker._requeue_stale(run, {}, attempts, {},
+                                     {0: [{"a": 1, "b": 2}]},
+                                     str(tmp_path))
         assert attempts[0] == 2
         # The chunk is claimable again and completes normally.
         chunk, points, _ = run.claim("live-worker")
@@ -267,7 +293,9 @@ class TestFaultInjection:
                                    heartbeat_timeout=30.0)
         broker.stats = {"requeued": 0, "duplicates": 0,
                         "attempts_max": 1}
-        assert not broker._requeue_stale(run, {}, {0: 1})
+        assert not broker._requeue_stale(run, {}, {0: 1}, {},
+                                         {0: [{"a": 1, "b": 2}]},
+                                         str(tmp_path))
         assert run.claim("thief") is None
 
     def test_retry_exhaustion_raises(self, tmp_path):
@@ -281,7 +309,9 @@ class TestFaultInjection:
         broker.stats = {"requeued": 0, "duplicates": 0,
                         "attempts_max": 1}
         with pytest.raises(RuntimeError, match="claim attempt"):
-            broker._requeue_stale(run, {}, {0: 3})
+            broker._requeue_stale(run, {}, {0: 3}, {},
+                                  {0: [{"a": 1, "b": 2}]},
+                                  str(tmp_path))
 
     def test_duplicate_result_commit_is_dropped_at_source(self,
                                                           tmp_path):
@@ -342,9 +372,96 @@ class TestFaultInjection:
                         "attempts_max": 1}
         # Chunk 0 already collected: the outstanding claim is garbage.
         assert not broker._requeue_stale(
-            run, {0: {"chunk": 0, "values": [2]}}, {0: 2})
+            run, {0: {"chunk": 0, "values": [2]}}, {0: 2}, {},
+            {0: [{"a": 1, "b": 2}]}, str(tmp_path))
         assert broker.stats["duplicates"] == 1
         assert not os.path.exists(claim_path)
+
+
+class TestRetryBudgetAndQuarantine:
+    """Error-payload retries, the poison policy, and the env knobs."""
+
+    def test_error_payload_retries_then_succeeds(self, tmp_path):
+        marker = str(tmp_path / "marker")
+        points = [{"a": a, "marker": marker} for a in range(4)]
+        broker = DistributedBroker(fail_once_point,
+                                   spool=str(tmp_path / "spool"),
+                                   chunk_size=1, spawn=0, steal=True,
+                                   poll=0.01, timeout=30.0)
+        values = broker.run(points)
+        assert values == [a * 10 for a in range(4)]
+        assert broker.stats["error_retries"] == 1
+        assert broker.stats["steal_errors"] == 1
+        assert broker.stats["attempts_max"] == 2
+        # The run summary names the chunk that needed extra attempts.
+        assert list(broker.stats["attempts"].values()) == [2]
+        assert broker.stats["quarantined"] == []
+
+    def test_poison_chunk_raises_by_default(self, tmp_path):
+        points = [{"a": a, "poison_at": 1} for a in range(3)]
+        broker = DistributedBroker(poison_point,
+                                   spool=str(tmp_path / "spool"),
+                                   chunk_size=1, spawn=0, steal=True,
+                                   poll=0.01, max_attempts=2,
+                                   timeout=30.0)
+        with pytest.raises(RuntimeError, match="poison"):
+            broker.run(points)
+
+    def test_poison_chunk_quarantined_with_partial_results(
+            self, tmp_path):
+        spool = str(tmp_path / "spool")
+        points = [{"a": a, "poison_at": 1} for a in range(3)]
+        broker = DistributedBroker(poison_point, spool=spool,
+                                   chunk_size=1, spawn=0, steal=True,
+                                   poll=0.01, max_attempts=2,
+                                   on_poison="quarantine",
+                                   timeout=30.0)
+        with pytest.warns(ResilienceWarning, match="quarantined"):
+            values = broker.run(points)
+        assert values == [0, None, 20]
+        assert broker.stats["quarantined"] == [1]
+
+        record_path = os.path.join(spool, QUARANTINE_DIR,
+                                   "chunk-000001.pkl")
+        with open(record_path, "rb") as handle:
+            record = pickle.load(handle)
+        assert record["chunk"] == 1
+        assert record["points"] == [{"a": 1, "poison_at": 1}]
+        assert record["attempts"] == 2
+        assert "poison" in str(record["error"])
+        assert record["workers"] == ["broker"]
+
+    def test_env_knobs_configure_the_budget(self, tmp_path,
+                                            monkeypatch):
+        monkeypatch.setenv(SWEEP_MAX_ATTEMPTS_ENV, "7")
+        monkeypatch.setenv(SWEEP_HEARTBEAT_ENV, "2.5")
+        broker = DistributedBroker(product_point,
+                                   spool=str(tmp_path))
+        assert broker.max_attempts == 7
+        assert broker.heartbeat_timeout == 2.5
+        # Explicit arguments still win over the environment.
+        broker = DistributedBroker(product_point, spool=str(tmp_path),
+                                   max_attempts=2,
+                                   heartbeat_timeout=1.0)
+        assert broker.max_attempts == 2
+        assert broker.heartbeat_timeout == 1.0
+
+    def test_malformed_env_knob_is_rejected(self, tmp_path,
+                                            monkeypatch):
+        monkeypatch.setenv(SWEEP_MAX_ATTEMPTS_ENV, "many")
+        with pytest.raises(ParameterError,
+                           match=SWEEP_MAX_ATTEMPTS_ENV):
+            DistributedBroker(product_point, spool=str(tmp_path))
+        monkeypatch.delenv(SWEEP_MAX_ATTEMPTS_ENV)
+        monkeypatch.setenv(SWEEP_HEARTBEAT_ENV, "soon")
+        with pytest.raises(ParameterError,
+                           match=SWEEP_HEARTBEAT_ENV):
+            DistributedBroker(product_point, spool=str(tmp_path))
+
+    def test_on_poison_is_validated(self, tmp_path):
+        with pytest.raises(ParameterError, match="on_poison"):
+            DistributedBroker(product_point, spool=str(tmp_path),
+                              on_poison="shrug")
 
 
 class TestSpoolWorker:
