@@ -63,6 +63,7 @@ from .apps import DESIGN_HEADERS, DesignSpaceExplorer, WriteErrorModel
 from .core.psi import psi_threshold_pitch, psi_vs_pitch
 from .device import MTJDevice, PAPER_EVAL_DEVICE
 from .device.compact import export_model_card
+from .errors import RunIdentityError
 from .reporting import ascii_plot, format_table
 from .units import nm_to_m, oe_to_am
 
@@ -218,14 +219,20 @@ def _cmd_memsys(args):
         run_kwargs = dict(checkpoint=manager,
                           checkpoint_every=args.checkpoint_every,
                           resume=args.resume)
-    if isinstance(engine, TopologyEngine):
-        result = engine.run(args.transactions, rng=rng,
-                            profile=args.profile,
-                            executor=args.executor, jobs=args.jobs,
-                            **run_kwargs)
-    else:
-        result = engine.run(args.transactions, rng=rng,
-                            profile=args.profile, **run_kwargs)
+    try:
+        if isinstance(engine, TopologyEngine):
+            result = engine.run(args.transactions, rng=rng,
+                                profile=args.profile,
+                                executor=args.executor, jobs=args.jobs,
+                                **run_kwargs)
+        else:
+            result = engine.run(args.transactions, rng=rng,
+                                profile=args.profile, **run_kwargs)
+    except RunIdentityError as exc:
+        print(f"resume refused: {exc}")
+        print("pass a fresh --checkpoint directory (or drop --resume) "
+              "to start over")
+        return 2
     if manager is not None:
         ck = manager.stats()
         line = (f"checkpoints: {ck['directory']} "
@@ -396,7 +403,122 @@ def _cmd_serve(args):
               "address")
         return 2
     return serve_main(path=args.socket, host=args.host,
-                      port=args.port, capacity=args.cache_size)
+                      port=args.port, capacity=args.cache_size,
+                      memo_ttl=args.memo_ttl, stale_ttl=args.stale_ttl)
+
+
+def _print_report(report, as_json):
+    import json
+
+    if as_json:
+        print(json.dumps(report.to_record(), indent=2, sort_keys=True))
+        return
+    counts = report.counts()
+    for check in report.checks:
+        mark = {"pass": "ok  ", "fail": "FAIL", "skipped": "skip"}
+        line = f"  {mark[check.status]}  {check.name}"
+        if check.detail:
+            line += f": {check.detail}"
+        print(line)
+    verdict = "PASS" if report.passed else "FAIL"
+    print(f"{verdict}  {report.subject}  ({counts['pass']} ok, "
+          f"{counts['fail']} failed, {counts['skipped']} skipped)")
+
+
+def _cmd_audit(args):
+    import os
+
+    from .integrity import (AuditReport, audit_cache_dir,
+                            audit_checkpoint_dir, audit_spool_run,
+                            cross_backend_canary)
+    from .sweep.distributed import SWEEP_SPOOL_ENV, _RUN_PREFIX
+
+    reports = []
+    run_dirs = list(args.run or ())
+    spool = args.spool or (os.environ.get(SWEEP_SPOOL_ENV)
+                           if not (run_dirs or args.checkpoint
+                                   or args.cache or args.canary)
+                           else None)
+    if spool:
+        try:
+            run_dirs.extend(
+                os.path.join(spool, name)
+                for name in sorted(os.listdir(spool))
+                if name.startswith(_RUN_PREFIX)
+                and os.path.isdir(os.path.join(spool, name)))
+        except OSError as exc:
+            print(f"spool {spool!r} unreadable: {exc}")
+            return 2
+    for run_dir in run_dirs:
+        reports.append(audit_spool_run(run_dir, sample=args.sample,
+                                       seed=args.seed))
+    if args.checkpoint:
+        reports.append(audit_checkpoint_dir(args.checkpoint))
+    if args.cache:
+        reports.append(audit_cache_dir(args.cache))
+    if args.canary:
+        canary = AuditReport("cross-backend canary")
+        check = cross_backend_canary(seed=args.seed)
+        canary.checks.append(check)
+        reports.append(canary)
+    if not reports:
+        print("nothing to audit: pass --spool/--run/--checkpoint/"
+              "--cache/--canary (preserved spool runs need "
+              "REPRO_SWEEP_KEEP_RUNS=1)")
+        return 2
+    for report in reports:
+        _print_report(report, args.json)
+    return 0 if all(report.passed for report in reports) else 1
+
+
+def _cmd_spool(args):
+    import json
+    import os
+
+    from .integrity import fsck_spool, list_quarantine
+    from .sweep.distributed import SWEEP_SPOOL_ENV
+
+    spool = args.spool or os.environ.get(SWEEP_SPOOL_ENV)
+    if not spool:
+        print(f"no spool given: pass --spool DIR or set "
+              f"{SWEEP_SPOOL_ENV}")
+        return 2
+
+    if args.action == "ls-quarantine":
+        records = list_quarantine(spool)
+        if args.json:
+            print(json.dumps(records, indent=2, sort_keys=True))
+            return 0
+        if not records:
+            print(f"no quarantine records under {spool}")
+            return 0
+        for record in records:
+            if record.get("legacy"):
+                print(f"  {record['name']}  {record['bytes']} bytes  "
+                      f"(legacy pickle record, not deserialized)")
+            elif record.get("unreadable"):
+                print(f"  {record['name']}  {record['bytes']} bytes  "
+                      f"(unreadable)")
+            else:
+                print(f"  {record['name']}  chunk {record['chunk']}  "
+                      f"{record['attempts']} attempt(s)  "
+                      f"{record['error_type']}: {record['error']}")
+        print(f"{len(records)} quarantine record(s) under {spool}")
+        return 0
+
+    findings = fsck_spool(spool, repair=args.repair)
+    if args.json:
+        print(json.dumps([f.to_record() for f in findings],
+                         indent=2, sort_keys=True))
+    else:
+        for finding in findings:
+            mark = "repaired" if finding.repaired else "found   "
+            print(f"  {mark}  {finding.kind}  {finding.path}"
+                  + (f": {finding.detail}" if finding.detail else ""))
+        repaired = sum(1 for f in findings if f.repaired)
+        print(f"fsck {spool}: {len(findings)} finding(s), "
+              f"{repaired} repaired")
+    return 0 if all(f.repaired for f in findings) else 1
 
 
 def _cmd_query(args):
@@ -611,7 +733,61 @@ def build_parser():
     p.add_argument("--cache-size", type=int, default=256,
                    help="in-memory memo-cache entries (disk tier "
                         "follows $REPRO_KERNEL_CACHE)")
+    p.add_argument("--memo-ttl", type=float, default=None,
+                   metavar="SECONDS",
+                   help="age past which a memoized answer reads as a "
+                        "miss (default: never expires)")
+    p.add_argument("--stale-ttl", type=float, default=3600.0,
+                   metavar="SECONDS",
+                   help="degraded mode: with the breaker open, serve "
+                        "digest-verified memo entries up to this old, "
+                        "tagged 'stale: true' (0 disables; default "
+                        "3600)")
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "audit",
+        help="replay-verify run artifacts against their integrity "
+             "manifests")
+    p.add_argument("--spool", default=None, metavar="DIR",
+                   help="audit every preserved run-* directory under "
+                        "this spool (default: $REPRO_SWEEP_SPOOL when "
+                        "no other target is given)")
+    p.add_argument("--run", action="append", default=None,
+                   metavar="DIR",
+                   help="audit one preserved spool run directory "
+                        "(repeatable)")
+    p.add_argument("--checkpoint", default=None, metavar="DIR",
+                   help="audit a checkpoint directory (framed "
+                        "checksums + manifest sidecars)")
+    p.add_argument("--cache", default=None, metavar="DIR",
+                   help="audit a service results-cache directory "
+                        "(memo envelopes)")
+    p.add_argument("--canary", action="store_true",
+                   help="run the numpy-vs-numba cross-backend canary "
+                        "(skipped when numba is unavailable)")
+    p.add_argument("--sample", type=int, default=4,
+                   help="chunks per run to replay byte-for-byte "
+                        "(default 4)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed of the replay sample (and canary)")
+    p.add_argument("--json", action="store_true",
+                   help="emit machine-readable audit records")
+    p.set_defaults(func=_cmd_audit)
+
+    p = sub.add_parser(
+        "spool",
+        help="crash-consistency fsck and quarantine listing for a "
+             "sweep spool")
+    p.add_argument("action", choices=("fsck", "ls-quarantine"))
+    p.add_argument("--spool", default=None, metavar="DIR",
+                   help="spool directory (default: $REPRO_SWEEP_SPOOL)")
+    p.add_argument("--repair", action="store_true",
+                   help="apply fsck repairs (deletions of provably "
+                        "redundant state only)")
+    p.add_argument("--json", action="store_true",
+                   help="emit machine-readable findings")
+    p.set_defaults(func=_cmd_spool)
 
     from .service.protocol import QUERY_TYPES
     p = sub.add_parser(

@@ -45,6 +45,26 @@ class ServiceError(ReproError, RuntimeError):
     or the connection to it failed."""
 
 
+class IntegrityError(ReproError, RuntimeError):
+    """A persisted artifact (spool result, manifest, cache entry)
+    failed digest or framing verification.
+
+    The integrity layer's contract is "counted miss, never a wrong
+    answer": most callers catch this, count it, and recompute. It only
+    propagates where a human asked for verification outright
+    (``repro audit``, ``repro spool fsck``)."""
+
+
+class RunIdentityError(ReproError, ValueError):
+    """A ``--resume`` targeted a checkpoint written by a *different*
+    run (seed, backend, topology, or shape differ).
+
+    Raised instead of silently restarting clean: resuming is an
+    explicit claim about which campaign is being continued, so a
+    mismatch is an operator error to surface, not a fallback to
+    absorb. The message names the differing identity fields."""
+
+
 class ResilienceWarning(UserWarning):
     """A resilience mechanism degraded but recovered: a corrupt or
     stale checkpoint fell back to a clean restart, a poison chunk was

@@ -386,13 +386,25 @@ class ReliabilityEngine:
         require_positive(batch_size, "batch_size")
         rng = np.random.default_rng(rng)
         ckpt = as_checkpointer(checkpoint, every=checkpoint_every)
-        key = restored = None
+        key = restored = identity = None
         if ckpt is not None:
             key = checkpoint_key((self._config(),
                                   int(n_transactions),
                                   int(batch_size)))
+            # The run's identity record: every config field flattened,
+            # plus the shape and a digest of the generator's *initial*
+            # state (the seed's footprint — deliberately outside the
+            # key, since resume restores the generator mid-stream, but
+            # inside the identity so resuming with the wrong seed is a
+            # named error rather than a silent seed swap).
+            identity = {
+                "n_transactions": int(n_transactions),
+                "batch_size": int(batch_size),
+                "seed_state": checkpoint_key(rng.bit_generator.state),
+                **{str(k): v for k, v in self._config().items()},
+            }
             if resume:
-                restored = ckpt.restore(key)
+                restored = ckpt.restore(key, identity=identity)
                 if restored is not None and restored.get("complete"):
                     return restored["result"]
         profiler = PhaseProfiler() if profile else None
@@ -400,11 +412,13 @@ class ReliabilityEngine:
         if self.sampler == "binomial":
             result = self._run_binomial(int(n_transactions), rng,
                                         int(batch_size), progress,
-                                        profiler, ckpt, key, restored)
+                                        profiler, ckpt, key, restored,
+                                        identity)
         else:
             result = self._run_bernoulli(int(n_transactions), rng,
                                          int(batch_size), progress,
-                                         profiler, ckpt, key, restored)
+                                         profiler, ckpt, key, restored,
+                                         identity)
         if profiler is not None:
             result.extras["profile"] = profiler.breakdown(
                 total=time.perf_counter() - t0)
@@ -414,7 +428,7 @@ class ReliabilityEngine:
 
     def _run_bernoulli(self, n_transactions, rng, batch_size,
                        progress=None, profiler=None, ckpt=None,
-                       key=None, restored=None):
+                       key=None, restored=None, identity=None):
         """One uniform per cell per mechanism over dense int8 state."""
         ctl = self.controller
         words = ctl.words
@@ -494,7 +508,8 @@ class ReliabilityEngine:
             result.n_transactions += n
             if ckpt is not None and remaining > 0:
                 ckpt.maybe_save(result.n_transactions, lambda: {
-                    "key": key, "rng_state": rng.bit_generator.state,
+                    "key": key, "identity": identity,
+                    "rng_state": rng.bit_generator.state,
                     "intended": intended, "actual": actual,
                     "workload": self.workload, "scrub": self.scrub,
                     "result": result, "now": now,
@@ -504,7 +519,7 @@ class ReliabilityEngine:
 
         result.simulated_time = now
         if ckpt is not None:
-            ckpt.finalize(key, result)
+            ckpt.finalize(key, result, identity=identity)
         return result
 
     def _apply_round(self, round_words, is_write, intended, actual,
@@ -616,7 +631,7 @@ class ReliabilityEngine:
 
     def _run_binomial(self, n_transactions, rng, batch_size,
                       progress=None, profiler=None, ckpt=None,
-                      key=None, restored=None):
+                      key=None, restored=None, identity=None):
         """Class-grouped binomial draws over bit-packed planes."""
         ctl = self.controller
         words = ctl.words
@@ -706,7 +721,8 @@ class ReliabilityEngine:
             result.n_transactions += n
             if ckpt is not None and remaining > 0:
                 ckpt.maybe_save(result.n_transactions, lambda: {
-                    "key": key, "rng_state": rng.bit_generator.state,
+                    "key": key, "identity": identity,
+                    "rng_state": rng.bit_generator.state,
                     "intended": state.intended,
                     "actual": state.actual,
                     "err_count": state.err_count,
@@ -719,7 +735,7 @@ class ReliabilityEngine:
 
         result.simulated_time = now
         if ckpt is not None:
-            ckpt.finalize(key, result)
+            ckpt.finalize(key, result, identity=identity)
         return result
 
     def _apply_round_binomial(self, round_words, is_write, state,

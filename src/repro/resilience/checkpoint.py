@@ -36,12 +36,25 @@ from __future__ import annotations
 
 import hashlib
 import io
+import os
 import pickle
 import struct
 import uuid
 import warnings
 
-from ..errors import ParameterError, ResilienceWarning
+from ..errors import (
+    IntegrityError,
+    ParameterError,
+    ResilienceWarning,
+    RunIdentityError,
+)
+from ..integrity.manifest import (
+    blob_digest,
+    canonical,
+    identity_diff,
+    load_sealed,
+    write_sealed,
+)
 from ..validation import require_positive
 from .shims import REAL_FS
 
@@ -52,6 +65,14 @@ _MAGIC = b"RCHKPT01"
 _HEADER = struct.Struct("<8sQ32s")
 
 _SUFFIX = ".ckpt"
+
+#: Per-tag manifest sidecar suffix (``<tag>.manifest.json``): a sealed
+#: JSON record of the checkpoint blob's digest plus the run identity,
+#: so ``repro audit`` can verify checkpoints without unpickling them.
+_SIDECAR_SUFFIX = ".manifest.json"
+
+#: Per-batch digest history entries kept in a sidecar.
+_SIDECAR_HISTORY = 64
 
 
 def checkpoint_key(parts):
@@ -119,6 +140,46 @@ class CheckpointManager:
             raise ParameterError(f"bad checkpoint tag {tag!r}")
         return f"{self.directory}/{tag}{_SUFFIX}"
 
+    def _sidecar_path(self, tag):
+        return f"{self.directory}/{tag}{_SIDECAR_SUFFIX}"
+
+    def _write_sidecar(self, tag, payload, blob):
+        """Best-effort sealed manifest next to the checkpoint file.
+
+        Carries the blob's full digest, the run identity, and a capped
+        per-batch digest history. Deliberately written through plain
+        ``os`` rather than the fault-injection filesystem shim: the
+        sidecar is an advisory audit artifact, and its bookkeeping
+        writes must not perturb the scheduled fault ordinals the chaos
+        plans count on. Failures are swallowed — a missing sidecar
+        costs auditability, never the run.
+        """
+        path = self._sidecar_path(tag)
+        snapshot = {"done": payload.get("done"),
+                    "sha256": blob_digest(blob)}
+        try:
+            history = load_sealed(path).get("snapshots", [])
+        except (IntegrityError, OSError):
+            history = []
+        history = (list(history) + [snapshot])[-_SIDECAR_HISTORY:]
+        record = {
+            "kind": "checkpoint",
+            "tag": str(tag),
+            "key": payload.get("key"),
+            "identity": payload.get("identity"),
+            "complete": bool(payload.get("complete", False)),
+            "done": payload.get("done"),
+            "sha256": snapshot["sha256"],
+            "bytes": len(blob),
+            "snapshots": history,
+        }
+        try:
+            # canonical() makes the record JSON-safe whatever the
+            # identity values are (numpy scalars collapse to native).
+            write_sealed(path, canonical(record))
+        except (OSError, TypeError, ValueError):  # pragma: no cover
+            pass
+
     def save(self, tag, payload):
         """Atomically persist ``payload`` under ``tag``.
 
@@ -130,9 +191,10 @@ class CheckpointManager:
         path = self._path(tag)
         tmp = (f"{self.directory}/.tmp-{uuid.uuid4().hex[:8]}-"
                f"{tag}{_SUFFIX}")
+        blob = _encode(payload)
         try:
             self.fs.makedirs(self.directory)
-            self.fs.write_bytes(tmp, _encode(payload))
+            self.fs.write_bytes(tmp, blob)
             self.fs.replace(tmp, path)
         except OSError as exc:
             self.save_failures += 1
@@ -146,15 +208,25 @@ class CheckpointManager:
                 ResilienceWarning, stacklevel=2)
             return False
         self.saves += 1
+        self._write_sidecar(tag, payload, blob)
         return True
 
-    def load(self, tag, expect_key=None):
+    def load(self, tag, expect_key=None, identity=None):
         """The payload stored under ``tag``, or None with a counted
         warning when it is absent, corrupt, or stale.
 
         ``expect_key`` (from :func:`checkpoint_key`) guards against
         resuming a different run's state: a mismatch is a *stale*
         fallback, distinct from corruption in the counters.
+
+        ``identity`` (a flat dict of run-identity fields) upgrades the
+        stale fallback to a hard :class:`~repro.errors
+        .RunIdentityError` naming the differing fields: an explicit
+        ``--resume`` against the wrong run's checkpoint is an operator
+        error to surface, not a silent fresh start. It also catches
+        mismatches the key is blind to (the seed is not part of
+        :func:`checkpoint_key`, because resume restores the generator
+        mid-stream).
         """
         path = self._path(tag)
         try:
@@ -176,19 +248,62 @@ class CheckpointManager:
                 f"checkpoint {path!r} corrupt ({exc}); falling back "
                 f"to a clean restart", ResilienceWarning, stacklevel=2)
             return None
+        if not self._sidecar_agrees(tag, blob):
+            self.corrupt_fallbacks += 1
+            warnings.warn(
+                f"checkpoint {path!r} disagrees with its manifest "
+                f"sidecar (tamper or swapped file); falling back to a "
+                f"clean restart", ResilienceWarning, stacklevel=2)
+            return None
         if expect_key is not None and payload.get("key") != expect_key:
+            if identity is not None:
+                diff = identity_diff(identity, payload.get("identity"))
+                raise RunIdentityError(
+                    f"checkpoint {path!r} was written by a different "
+                    f"run; refusing to resume it. Differing fields: "
+                    + "; ".join(diff))
             self.stale_fallbacks += 1
             warnings.warn(
                 f"checkpoint {path!r} belongs to a different run "
                 f"(stale configuration); falling back to a clean "
                 f"restart", ResilienceWarning, stacklevel=2)
             return None
+        stored_identity = payload.get("identity")
+        if (identity is not None and isinstance(stored_identity, dict)
+                and stored_identity
+                and canonical(stored_identity) != canonical(identity)):
+            diff = identity_diff(identity, stored_identity)
+            raise RunIdentityError(
+                f"checkpoint {path!r} matches this run's configuration "
+                f"key but not its identity; refusing to resume it. "
+                f"Differing fields: " + "; ".join(diff))
         return payload
 
+    def _sidecar_agrees(self, tag, blob):
+        """False only when a *valid* sidecar contradicts the blob.
+
+        An absent or unreadable sidecar proves nothing (pre-sidecar
+        checkpoints, a torn sidecar write) and must not fail loads —
+        the blob's own checksum already gates corruption; the sidecar
+        catches wholesale file replacement.
+        """
+        path = self._sidecar_path(tag)
+        if not os.path.exists(path):
+            return True
+        try:
+            record = load_sealed(path)
+        except IntegrityError:
+            return True
+        return record.get("sha256") == blob_digest(blob)
+
     def delete(self, tag):
-        """Remove ``tag``'s checkpoint (no-op when absent)."""
+        """Remove ``tag``'s checkpoint and sidecar (no-op when absent)."""
         try:
             self.fs.unlink(self._path(tag))
+        except OSError:
+            pass
+        try:
+            os.unlink(self._sidecar_path(tag))
         except OSError:
             pass
 
@@ -243,9 +358,15 @@ class RunCheckpointer:
         self.every = None if every is None else int(every)
         self._last_saved = None
 
-    def restore(self, key):
-        """The saved run state matching ``key``, or None."""
-        payload = self.manager.load(self.tag, expect_key=key)
+    def restore(self, key, identity=None):
+        """The saved run state matching ``key``, or None.
+
+        ``identity`` makes a mismatch a hard
+        :class:`~repro.errors.RunIdentityError` (see
+        :meth:`CheckpointManager.load`).
+        """
+        payload = self.manager.load(self.tag, expect_key=key,
+                                    identity=identity)
         if payload is not None:
             self._last_saved = payload.get("done")
         return payload
@@ -266,7 +387,7 @@ class RunCheckpointer:
             return True
         return False
 
-    def finalize(self, key, result):
+    def finalize(self, key, result, identity=None):
         """Persist the completed run's result.
 
         A resume of a finished run then returns the stored result
@@ -276,6 +397,7 @@ class RunCheckpointer:
         self.manager.save(self.tag, {
             "key": key, "complete": True, "result": result,
             "done": getattr(result, "n_transactions", None),
+            "identity": identity,
         })
 
 

@@ -35,6 +35,7 @@ the same points. No wall clock, no real randomness.
 from __future__ import annotations
 
 import errno
+import os
 
 import numpy as np
 
@@ -158,19 +159,40 @@ class WorkerFaults:
         Chunk index during which the worker's heartbeat ticker is
         frozen, so the broker declares the claim stale while the
         worker still runs.
+    corrupt_result_at_chunk:
+        Chunk index whose *committed result file* is damaged after the
+        commit lands — the crash-mid-write the atomic rename cannot
+        cover for (a dying disk, a torn page on a network mount).
+        ``corrupt_mode`` picks the damage: ``"torn"`` flips one byte
+        (``corrupt_offset``/``corrupt_flip``), ``"truncate"`` cuts the
+        file to half its length. ``corrupt_once`` (default) arms it a
+        single time, so the broker's digest-reject → retry path must
+        recover the chunk.
     """
 
     def __init__(self, kill_at_chunk=None, kill_once=True,
                  fail_at_chunk=None, fail_once=True,
-                 stall_heartbeat_at_chunk=None):
+                 stall_heartbeat_at_chunk=None,
+                 corrupt_result_at_chunk=None, corrupt_mode="torn",
+                 corrupt_once=True, corrupt_offset=-8, corrupt_flip=0x01):
+        if corrupt_mode not in ("torn", "truncate"):
+            raise ParameterError(
+                f"corrupt_mode must be 'torn' or 'truncate', got "
+                f"{corrupt_mode!r}")
         self.kill_at_chunk = kill_at_chunk
         self.kill_once = bool(kill_once)
         self.fail_at_chunk = fail_at_chunk
         self.fail_once = bool(fail_once)
         self.stall_heartbeat_at_chunk = stall_heartbeat_at_chunk
+        self.corrupt_result_at_chunk = corrupt_result_at_chunk
+        self.corrupt_mode = corrupt_mode
+        self.corrupt_once = bool(corrupt_once)
+        self.corrupt_offset = int(corrupt_offset)
+        self.corrupt_flip = int(corrupt_flip)
         self.kills = 0
         self.failures = 0
         self.stalls = 0
+        self.corruptions = 0
 
     def on_chunk(self, worker_id, chunk):
         """Called by the worker before evaluating ``chunk``; raises
@@ -195,6 +217,26 @@ class WorkerFaults:
             self.stalls += 1
         return stalled
 
+    def corrupt_result(self, path, chunk):
+        """Called by the worker after committing ``chunk``'s result;
+        applies the scheduled post-commit damage to ``path``, if any."""
+        if (self.corrupt_result_at_chunk is None
+                or chunk != self.corrupt_result_at_chunk
+                or (self.corrupt_once and self.corruptions)):
+            return
+        try:
+            if self.corrupt_mode == "truncate":
+                size = os.path.getsize(path)
+                with open(path, "r+b") as fh:
+                    fh.truncate(size // 2)
+            else:
+                from .checkpoint import corrupt_checkpoint
+                corrupt_checkpoint(path, offset=self.corrupt_offset,
+                                   flip=self.corrupt_flip)
+        except OSError:  # pragma: no cover - result already collected
+            return
+        self.corruptions += 1
+
 
 #: The named scenarios the chaos matrix iterates. Each value builds
 #: the plan's knobs from the plan RNG; keeping them here (not in the
@@ -205,6 +247,8 @@ FAULT_KINDS = (
     "corrupt-checkpoint",
     "eio-on-rename",
     "stall-heartbeat",
+    "torn-write",
+    "truncated-result",
 )
 
 
@@ -246,6 +290,16 @@ class FaultPlan:
         if self.kind == "stall-heartbeat":
             return WorkerFaults(
                 stall_heartbeat_at_chunk=self.target_chunk)
+        if self.kind == "torn-write":
+            return WorkerFaults(
+                corrupt_result_at_chunk=self.target_chunk,
+                corrupt_mode="torn",
+                corrupt_offset=self.corrupt_offset,
+                corrupt_flip=self.corrupt_flip)
+        if self.kind == "truncated-result":
+            return WorkerFaults(
+                corrupt_result_at_chunk=self.target_chunk,
+                corrupt_mode="truncate")
         return None
 
     def filesystem(self):

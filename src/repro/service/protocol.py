@@ -28,6 +28,7 @@ from ..arrays.kernel_disk import key_digest
 from ..arrays.kernel_store import stack_fingerprint
 from ..device import MTJDevice, PAPER_EVAL_DEVICE
 from ..errors import ParameterError
+from ..integrity.manifest import canonical_scalar
 from ..units import nm_to_m
 from ..validation import require_int_in_range, require_positive
 
@@ -328,11 +329,10 @@ def query_fingerprint(query):
                         key=lambda f: f.name):
         value = getattr(query, field.name)
         # JSON spells 70 and 70.0 interchangeably; canonicalize every
-        # scalar number to float so both spellings key identically.
-        if isinstance(value, (int, float)) and not isinstance(value,
-                                                              bool):
-            value = float(value)
-        parts.append((field.name, value))
+        # scalar number to float so both spellings key identically —
+        # the one collapse rule, shared with the manifest digests so
+        # fingerprints and integrity digests can never drift apart.
+        parts.append((field.name, canonical_scalar(value)))
     if query.op in ("uber", "wer", "sweep"):
         stack_key = stack_fingerprint(device_for(query).stack)
     else:

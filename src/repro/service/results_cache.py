@@ -9,9 +9,21 @@ to. Both tiers are keyed by :func:`~repro.service.protocol
 .query_fingerprint`, so a warm directory survives server restarts and
 is shared by every server pointed at it.
 
+Every entry is stored in a manifest envelope — fingerprint, store
+time, and a :func:`~repro.integrity.manifest.record_digest` of the
+payload — and verified on read: a corrupt, tampered, or
+wrong-fingerprint file is a counted miss (and deleted), never a wrong
+answer. The store time powers two ages:
+
+* ``get(key, max_age=...)`` — the memo TTL: entries older than
+  ``max_age`` read as misses (but are *retained* — they may still
+  serve stale).
+* ``get_stale(key, max_age)`` — degraded-mode reads: the freshest
+  entry within the (much longer) stale TTL, digest-verified, returned
+  with its age so the server can tag the answer ``stale: true``.
+
 Thread-safe: the server touches the cache from ``asyncio.to_thread``
-workers as well as the event loop. Disk corruption is never fatal — a
-file that fails to parse is treated as a miss and deleted.
+workers as well as the event loop.
 """
 
 from __future__ import annotations
@@ -19,14 +31,19 @@ from __future__ import annotations
 import json
 import os
 import threading
+import time
 from collections import OrderedDict
 
 from ..arrays.kernel_disk import KERNEL_CACHE_ENV
 from ..errors import ParameterError
-from ..validation import require_int_in_range
+from ..integrity.manifest import record_digest
+from ..validation import require_int_in_range, require_positive
 
 #: Subdirectory of ``REPRO_KERNEL_CACHE`` holding service results.
 RESULTS_SUBDIR = "service-results"
+
+#: Disk-envelope schema version.
+ENVELOPE_VERSION = 1
 
 _FINGERPRINT_LEN = 32
 
@@ -45,9 +62,14 @@ class ResultsCache:
         variable is set, else runs memory-only. Pass an explicit path
         to force a tier, or ``directory=False`` to disable the disk
         tier regardless of the environment.
+    clock:
+        Time source for entry ages — a callable or an object with a
+        ``time()`` method (the :class:`~repro.resilience.shims.Clock`
+        shape, so the fault harness can age entries by hand). Default:
+        ``time.time``.
     """
 
-    def __init__(self, capacity=256, directory=None):
+    def __init__(self, capacity=256, directory=None, clock=None):
         require_int_in_range(capacity, "capacity", 1, 1 << 20)
         self.capacity = capacity
         if directory is None:
@@ -55,13 +77,27 @@ class ResultsCache:
             directory = (os.path.join(root, RESULTS_SUBDIR)
                          if root else False)
         self.directory = None if directory is False else str(directory)
+        if clock is None:
+            self._clock = time.time
+        elif callable(getattr(clock, "time", None)):
+            self._clock = clock.time
+        elif callable(clock):
+            self._clock = clock
+        else:
+            raise ParameterError(
+                f"clock must be callable or expose time(), got "
+                f"{clock!r}")
         self._lock = threading.Lock()
+        #: key -> (payload, stored_at, digest)
         self._memory = OrderedDict()
         self._hits = 0
         self._misses = 0
         self._disk_hits = 0
         self._disk_write_failures = 0
         self._disk_corrupt = 0
+        self._expired = 0
+        self._stale_hits = 0
+        self._stale_rejects = 0
 
     # -- key plumbing --------------------------------------------------
 
@@ -80,62 +116,134 @@ class ResultsCache:
     # -- tiers ---------------------------------------------------------
 
     def _disk_get(self, key):
+        """``(payload, stored_at, digest)`` from a verified envelope,
+        else None. Any verification failure — unparseable JSON, a
+        pre-envelope bare payload, a digest or fingerprint mismatch —
+        is counted corrupt and the file removed: a counted miss, never
+        a wrong answer."""
         if self.directory is None:
             return None
         path = self._path(key)
         try:
             with open(path, "r", encoding="utf-8") as handle:
-                payload = json.load(handle)
+                envelope = json.load(handle)
         except FileNotFoundError:
             return None
         except (OSError, json.JSONDecodeError, UnicodeDecodeError):
-            # Corrupt or unreadable entry: drop it and treat as a miss.
-            self._disk_corrupt += 1
-            try:
-                os.unlink(path)
-            except OSError:
-                pass
-            return None
-        if not isinstance(payload, dict):
-            self._disk_corrupt += 1
-            return None
-        return payload
+            return self._drop_corrupt(path)
+        if (not isinstance(envelope, dict)
+                or envelope.get("v") != ENVELOPE_VERSION
+                or envelope.get("fingerprint") != key
+                or not isinstance(envelope.get("payload"), dict)):
+            return self._drop_corrupt(path)
+        payload = envelope["payload"]
+        digest = envelope.get("sha256")
+        if record_digest(payload) != digest:
+            return self._drop_corrupt(path)
+        try:
+            stored_at = float(envelope.get("stored_at"))
+        except (TypeError, ValueError):
+            return self._drop_corrupt(path)
+        return payload, stored_at, digest
 
-    def _disk_put(self, key, payload):
+    def _drop_corrupt(self, path):
+        self._disk_corrupt += 1
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+        return None
+
+    def _disk_put(self, key, payload, stored_at, digest):
         if self.directory is None:
             return
+        envelope = {"v": ENVELOPE_VERSION, "fingerprint": key,
+                    "stored_at": stored_at, "sha256": digest,
+                    "payload": payload}
         try:
             os.makedirs(self.directory, exist_ok=True)
             tmp = self._path(key) + f".tmp.{os.getpid()}"
             with open(tmp, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle, separators=(",", ":"),
+                json.dump(envelope, handle, separators=(",", ":"),
                           sort_keys=True)
             os.replace(tmp, self._path(key))
         except (OSError, TypeError, ValueError):
             # Persistence is best-effort; the memory tier still serves.
             self._disk_write_failures += 1
 
+    def _entry(self, key):
+        """The freshest verified entry from either tier, or None.
+
+        Disk entries are promoted into the memory LRU (with their
+        original store time — promotion must not rejuvenate an entry).
+        """
+        if key in self._memory:
+            self._memory.move_to_end(key)
+            return self._memory[key]
+        entry = self._disk_get(key)
+        if entry is not None:
+            self._disk_hits += 1
+            self._store(key, entry)
+        return entry
+
     # -- public API ----------------------------------------------------
 
-    def get(self, key):
+    def get(self, key, max_age=None):
         """The memoized payload for ``key``, or ``None`` on a miss.
 
-        Disk hits are promoted into the memory LRU.
+        ``max_age`` (seconds) is the memo TTL: an older entry reads as
+        a counted miss but is kept in both tiers, where
+        :meth:`get_stale` can still reach it during degraded serving.
         """
         self._check_key(key)
+        if max_age is not None:
+            require_positive(max_age, "max_age")
         with self._lock:
-            if key in self._memory:
-                self._memory.move_to_end(key)
-                self._hits += 1
-                return self._memory[key]
-            payload = self._disk_get(key)
-            if payload is not None:
-                self._disk_hits += 1
-                self._hits += 1
-                self._store(key, payload)
-                return payload
-            self._misses += 1
-            return None
+            entry = self._entry(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            payload, stored_at, _ = entry
+            if max_age is not None:
+                age = max(0.0, self._clock() - stored_at)
+                if age > max_age:
+                    self._expired += 1
+                    self._misses += 1
+                    return None
+            self._hits += 1
+            return payload
+
+    def get_stale(self, key, max_age):
+        """``(payload, age_seconds)`` for degraded-mode serving, or
+        None.
+
+        Ignores the memo TTL but bounds the answer's age by
+        ``max_age`` (the stale TTL) and re-verifies the payload
+        against its stored digest — an entry that fails verification
+        is dropped and counted, because a degraded answer must still
+        be a *correct* stale answer.
+        """
+        self._check_key(key)
+        require_positive(max_age, "max_age")
+        with self._lock:
+            entry = self._entry(key)
+            if entry is None:
+                return None
+            payload, stored_at, digest = entry
+            if record_digest(payload) != digest:
+                self._stale_rejects += 1
+                self._memory.pop(key, None)
+                if self.directory is not None:
+                    try:
+                        os.unlink(self._path(key))
+                    except OSError:
+                        pass
+                return None
+            age = max(0.0, self._clock() - stored_at)
+            if age > max_age:
+                return None
+            self._stale_hits += 1
+            return payload, age
 
     def put(self, key, payload):
         """Memoize ``payload`` (a JSON-safe dict) under ``key``."""
@@ -144,11 +252,13 @@ class ResultsCache:
             raise ParameterError(
                 f"payload must be a dict, got {type(payload).__name__}")
         with self._lock:
-            self._store(key, payload)
-            self._disk_put(key, payload)
+            stored_at = float(self._clock())
+            digest = record_digest(payload)
+            self._store(key, (payload, stored_at, digest))
+            self._disk_put(key, payload, stored_at, digest)
 
-    def _store(self, key, payload):
-        self._memory[key] = payload
+    def _store(self, key, entry):
+        self._memory[key] = entry
         self._memory.move_to_end(key)
         while len(self._memory) > self.capacity:
             self._memory.popitem(last=False)
@@ -175,6 +285,9 @@ class ResultsCache:
                 "disk_hits": self._disk_hits,
                 "disk_write_failures": self._disk_write_failures,
                 "disk_corrupt": self._disk_corrupt,
+                "expired": self._expired,
+                "stale_hits": self._stale_hits,
+                "stale_rejects": self._stale_rejects,
                 "memory_entries": len(self._memory),
                 "capacity": self.capacity,
                 "disk_directory": self.directory,

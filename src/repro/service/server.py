@@ -32,6 +32,9 @@ Hardening (all observable in ``/stats``):
 * **Load shedding** — at most ``max_in_flight`` queries evaluate at
   once; beyond that the server answers an immediate ``shed: true``
   error instead of queueing unboundedly.
+* **Degraded-mode serving** — with a breaker open, a digest-verified
+  memo entry within ``stale_ttl`` answers tagged ``stale: true`` plus
+  its age; only past that TTL does the op fast-fail.
 """
 
 from __future__ import annotations
@@ -113,11 +116,21 @@ class ReliabilityServer:
     breaker_threshold, breaker_reset:
         Consecutive runner failures that open an op's circuit breaker,
         and how long it stays open before a half-open probe.
+    memo_ttl:
+        Memo-cache TTL in seconds: entries older than this read as
+        misses on the normal path (they stay reachable for stale
+        serving). ``None`` (default) never expires.
+    stale_ttl:
+        Degraded-serving window in seconds: with an op's breaker open,
+        a digest-verified memo entry younger than this answers with
+        ``stale: true`` + its age instead of a fast-fail. ``0``
+        disables stale serving.
     """
 
     def __init__(self, path=None, host=None, port=None, cache=None,
                  capacity=256, max_in_flight=64, breaker_threshold=5,
-                 breaker_reset=30.0, breaker_clock=None):
+                 breaker_reset=30.0, breaker_clock=None,
+                 memo_ttl=None, stale_ttl=3600.0):
         if path is not None and port is not None:
             raise ParameterError(
                 "pass either a unix-socket path or a TCP port, not "
@@ -134,9 +147,15 @@ class ReliabilityServer:
         require_int_in_range(max_in_flight, "max_in_flight", 1, 1 << 16)
         require_positive(breaker_threshold, "breaker_threshold")
         require_positive(breaker_reset, "breaker_reset")
+        if memo_ttl is not None:
+            require_positive(memo_ttl, "memo_ttl")
+        if stale_ttl:
+            require_positive(stale_ttl, "stale_ttl")
         self.max_in_flight = int(max_in_flight)
         self.breaker_threshold = int(breaker_threshold)
         self.breaker_reset = float(breaker_reset)
+        self.memo_ttl = None if memo_ttl is None else float(memo_ttl)
+        self.stale_ttl = float(stale_ttl or 0.0)
         self._breaker_clock = breaker_clock
         self.breakers = {}
         self.endpoints = {}
@@ -144,6 +163,7 @@ class ReliabilityServer:
         self.shed = 0
         self.deadline_exceeded = 0
         self.degraded = 0
+        self.stale_served = 0
         self._progress_events = 0
         self._requests = set()
         self._writers = set()
@@ -334,7 +354,7 @@ class ReliabilityServer:
     async def _answer(self, query, req_id, writer, deadline=None):
         """Serve one parsed query; returns True when it errored."""
         key = query_fingerprint(query)
-        cached = self.cache.get(key)
+        cached = self.cache.get(key, max_age=self.memo_ttl)
         if cached is not None:
             self._send(writer, {"id": req_id, "event": "result",
                                 "ok": True, "cached": True,
@@ -344,9 +364,24 @@ class ReliabilityServer:
 
         breaker = self._breaker(query.op)
         if not breaker.allow():
-            # Open breaker: answer degraded instead of queueing more
-            # work onto a failing backend. Cache hits (above) still
-            # serve normally while the breaker is open.
+            # Open breaker: degrade instead of queueing more work onto
+            # a failing backend. Fresh cache hits (above) still serve
+            # normally; here a digest-verified *stale* memo entry —
+            # expired past the memo TTL but within the stale TTL —
+            # answers tagged `stale: true` + its age, so the query
+            # surface degrades before it fast-fails.
+            if self.stale_ttl > 0:
+                stale = self.cache.get_stale(key, self.stale_ttl)
+                if stale is not None:
+                    payload, age = stale
+                    self.stale_served += 1
+                    self._send(writer, {
+                        "id": req_id, "event": "result", "ok": True,
+                        "cached": True, "coalesced": False,
+                        "stale": True, "age_s": round(age, 3),
+                        "degraded": True, "fingerprint": key,
+                        "result": payload})
+                    return False
             self.degraded += 1
             self._send(writer, {
                 "id": req_id, "event": "error", "ok": False,
@@ -430,6 +465,9 @@ class ReliabilityServer:
             "shed": self.shed,
             "deadline_exceeded": self.deadline_exceeded,
             "degraded": self.degraded,
+            "stale_served": self.stale_served,
+            "memo_ttl": self.memo_ttl,
+            "stale_ttl": self.stale_ttl,
             "breakers": {op: breaker.stats()
                          for op, breaker in self.breakers.items()},
             "kernel_store": get_kernel_store().stats(),
@@ -440,10 +478,11 @@ class ReliabilityServer:
 
 
 async def run_server(path=None, host=None, port=None, capacity=256,
-                     ready=None):
+                     ready=None, memo_ttl=None, stale_ttl=3600.0):
     """Start a server, announce readiness, serve until drained."""
     server = ReliabilityServer(path=path, host=host, port=port,
-                               capacity=capacity)
+                               capacity=capacity, memo_ttl=memo_ttl,
+                               stale_ttl=stale_ttl)
     await server.start()
     print(f"repro service listening on {server.address}", flush=True)
     if ready is not None:
@@ -453,10 +492,13 @@ async def run_server(path=None, host=None, port=None, capacity=256,
     return 0
 
 
-def serve_main(path=None, host=None, port=None, capacity=256):
+def serve_main(path=None, host=None, port=None, capacity=256,
+               memo_ttl=None, stale_ttl=3600.0):
     """Blocking entry point behind ``repro serve``."""
     try:
         return asyncio.run(run_server(path=path, host=host, port=port,
-                                      capacity=capacity))
+                                      capacity=capacity,
+                                      memo_ttl=memo_ttl,
+                                      stale_ttl=stale_ttl))
     except KeyboardInterrupt:  # pragma: no cover - direct Ctrl-C
         return 0

@@ -43,6 +43,7 @@ byte-identical to the serial baseline.
 
 from __future__ import annotations
 
+import json
 import os
 import pickle
 import shutil
@@ -53,7 +54,15 @@ import uuid
 
 import warnings
 
-from ..errors import ParameterError, ResilienceWarning
+from ..errors import IntegrityError, ParameterError, ResilienceWarning
+from ..integrity.manifest import (
+    MANIFEST_NAME,
+    RunManifest,
+    blob_digest,
+    pack_record,
+    pickle_digest,
+    unpack_record,
+)
 from ..validation import require_int_in_range, require_positive
 from .runner import _flush_kernel_store
 
@@ -83,6 +92,14 @@ SHUTDOWN_SENTINEL = "shutdown"
 #: ``on_poison="quarantine"``.
 QUARANTINE_DIR = "quarantine"
 
+#: When truthy ("1"/"true"), brokers on an external spool preserve the
+#: finished run directory — replay inputs plus a sealed manifest —
+#: instead of removing it, so ``repro audit`` can verify it later.
+SWEEP_KEEP_ENV = "REPRO_SWEEP_KEEP_RUNS"
+
+#: Per-run directory holding each chunk's input points for replay audit.
+REPLAY_DIR = "replay"
+
 
 def _env_number(name, cast):
     """``cast(os.environ[name])``, None when unset/empty; the same
@@ -110,6 +127,25 @@ def _atomic_write(path, payload):
     with open(tmp, "wb") as fh:
         pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
     os.replace(tmp, path)
+
+
+def _atomic_write_json(path, record):
+    """JSON twin of :func:`_atomic_write` (quarantine records)."""
+    directory, name = os.path.split(path)
+    tmp = os.path.join(directory, f".tmp-{uuid.uuid4().hex[:8]}-{name}")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+    os.replace(tmp, path)
+
+
+def _json_safe_point(point):
+    """``point`` if it survives JSON, else its ``repr`` — quarantine
+    records must always write, whatever the sweep axes hold."""
+    try:
+        json.dumps(point)
+        return point
+    except (TypeError, ValueError):
+        return repr(point)
 
 
 def _load_pickle(path):
@@ -235,7 +271,12 @@ class SpoolRun:
         """Yield ``(chunk, payload)`` of committed results not in ``skip``.
 
         Files mid-commit never appear: commits are atomic renames, and
-        the in-flight temp names start with a dot.
+        the in-flight temp names start with a dot. Every result file is
+        digest-verified on read (commits are framed with
+        :func:`~repro.integrity.manifest.pack_record`); a torn,
+        truncated, or tampered file yields ``payload=None`` so the
+        broker can count and retry it — corrupt bytes never reassemble
+        into sweep values.
         """
         try:
             names = sorted(os.listdir(self.results_dir))
@@ -247,8 +288,17 @@ class SpoolRun:
             chunk = int(name[len("chunk-"):-len(".pkl")])
             if chunk in skip:
                 continue
-            yield chunk, _load_pickle(
-                os.path.join(self.results_dir, name))
+            path = os.path.join(self.results_dir, name)
+            try:
+                with open(path, "rb") as fh:
+                    blob = fh.read()
+            except OSError:
+                continue
+            try:
+                payload = unpack_record(blob)
+            except IntegrityError:
+                payload = None
+            yield chunk, payload
 
     def claimed_jobs(self):
         """``(chunk, worker_id, path)`` of every outstanding claim."""
@@ -368,8 +418,7 @@ class SpoolRun:
                            f".tmp-{uuid.uuid4().hex[:8]}-{worker_id}")
         try:
             with open(tmp, "wb") as fh:
-                pickle.dump(payload, fh,
-                            protocol=pickle.HIGHEST_PROTOCOL)
+                fh.write(pack_record(payload))
         except OSError:
             # results/ vanished: the broker finished (or failed) and
             # removed the run while we were evaluating.
@@ -596,6 +645,13 @@ class SpoolWorker:
             ticker()
         if not run.commit(chunk, payload, self.worker_id):
             self.stats["duplicate_commits"] += 1
+        elif self.faults is not None:
+            # Post-commit damage (torn-write / truncated-result fault
+            # kinds): the commit landed atomically, then the bytes
+            # rotted — the case only read-side digests can catch.
+            self.faults.corrupt_result(
+                os.path.join(run.results_dir,
+                             f"chunk-{chunk:06d}.pkl"), chunk)
         run.clear_claim(claim_path)
         self.stats["chunks"] += 1
         _flush_kernel_store()
@@ -702,12 +758,20 @@ class DistributedBroker:
         collected (the :class:`~repro.sweep.runner.SweepRunner`
         progress contract, which is how the :mod:`repro.service`
         server streams sweep progress off the spool backend).
+    keep_run:
+        Preserve the finished run directory on an *external* spool —
+        each chunk's input points archived under ``replay/`` plus a
+        sealed :class:`~repro.integrity.manifest.RunManifest` of
+        per-chunk result digests — instead of removing it, so ``repro
+        audit`` can replay-verify the run later. Default:
+        :data:`SWEEP_KEEP_ENV`, else False. No effect on a private
+        temp spool (nothing would outlive the call).
     """
 
     def __init__(self, func, spool=None, jobs=None, chunk_size=None,
                  heartbeat_timeout=None, poll=0.02, max_attempts=None,
                  spawn=None, steal=True, timeout=None, progress=None,
-                 on_poison="raise"):
+                 on_poison="raise", keep_run=None):
         if not callable(func):
             raise ParameterError(f"func must be callable, got {func!r}")
         if progress is not None and not callable(progress):
@@ -745,6 +809,10 @@ class DistributedBroker:
             require_int_in_range(spawn, "spawn", 0, 4096)
         if timeout is not None:
             require_positive(timeout, "timeout")
+        if keep_run is None:
+            keep_run = os.environ.get(SWEEP_KEEP_ENV, "").lower() in (
+                "1", "true", "yes")
+        self.keep_run = bool(keep_run)
         self.func = func
         self.spool = spool if spool is not None else os.environ.get(
             SWEEP_SPOOL_ENV)
@@ -795,19 +863,23 @@ class DistributedBroker:
                           len(workers), "requeued": 0, "stolen": 0,
                           "duplicates": 0, "attempts_max": 1,
                           "error_retries": 0, "steal_errors": 0,
+                          "integrity_rejects": 0,
                           "attempts": {}, "quarantined": []}
             results = self._gather(run, chunk_points, len(points),
                                    spool)
+            if self.keep_run and not owns_spool:
+                self._preserve(run, chunk_points, results)
             failed = False
         finally:
             if run is not None:
                 run.mark_done()
             self._reap_workers(workers)
             # A failed run keeps its directory for post-mortem (unless
-            # the broker owns the whole temp spool).
+            # the broker owns the whole temp spool); a preserved run
+            # keeps it for replay audit.
             if owns_spool:
                 shutil.rmtree(spool, ignore_errors=True)
-            elif not failed and run is not None:
+            elif not failed and run is not None and not self.keep_run:
                 shutil.rmtree(run.path, ignore_errors=True)
         return [value for chunk in range(len(bounds))
                 for value in results[chunk]["values"]]
@@ -877,6 +949,32 @@ class DistributedBroker:
         progressed = False
         for chunk, payload in run.collect(skip=results.keys()):
             if chunk in results:  # pragma: no cover - skip covers this
+                continue
+            if payload is None:
+                # Digest-failed result file (torn write, truncation,
+                # tamper): counted and retried like a shipped error —
+                # the corrupt bytes themselves never become values.
+                self.stats["integrity_rejects"] += 1
+                failed_workers.setdefault(chunk, set())
+                error = IntegrityError(
+                    f"chunk {chunk} result file failed digest "
+                    f"verification")
+                if attempts[chunk] >= self.max_attempts:
+                    if self.on_poison == "raise":
+                        raise error
+                    run.discard_result(chunk)
+                    results[chunk] = self._quarantine(
+                        chunk, chunk_points[chunk], error,
+                        attempts[chunk], failed_workers[chunk], spool)
+                    progressed = True
+                    continue
+                attempts[chunk] += 1
+                self.stats["error_retries"] += 1
+                self.stats["attempts_max"] = max(
+                    self.stats["attempts_max"], attempts[chunk])
+                run.discard_result(chunk)
+                run.enqueue(chunk, chunk_points[chunk])
+                progressed = True
                 continue
             error = payload.get("error")
             if error is not None:
@@ -958,16 +1056,24 @@ class DistributedBroker:
         post-mortem; the chunk's points read as ``None`` in the sweep
         values. Counted in ``stats["quarantined"]`` and warned about —
         partial results must never look like a clean success.
+
+        The record is *JSON*, deliberately: a poison chunk is by
+        definition attacker-shaped data, and inspecting it (``repro
+        spool ls-quarantine``) must never deserialize a pickle. The
+        error ships as its ``repr`` plus type name; points that do not
+        survive JSON degrade to their ``repr`` too.
         """
         workers = sorted(str(w) for w in workers if w is not None)
         record_dir = os.path.join(spool, QUARANTINE_DIR)
         record_path = os.path.join(record_dir,
-                                   f"chunk-{chunk:06d}.pkl")
+                                   f"chunk-{chunk:06d}.json")
         try:
             os.makedirs(record_dir, exist_ok=True)
-            _atomic_write(record_path, {
-                "chunk": int(chunk), "points": list(points),
-                "error": _picklable_error(error),
+            _atomic_write_json(record_path, {
+                "chunk": int(chunk),
+                "points": [_json_safe_point(p) for p in points],
+                "error": repr(error),
+                "error_type": type(error).__name__,
                 "attempts": int(n_attempts), "workers": workers})
         except OSError:  # pragma: no cover - quarantine must not kill
             record_path = None
@@ -980,6 +1086,47 @@ class DistributedBroker:
             ResilienceWarning, stacklevel=4)
         return {"chunk": int(chunk), "values": [None] * len(points),
                 "worker": None, "quarantined": True}
+
+    def _preserve(self, run, chunk_points, results):
+        """Archive the finished run for replay audit (``keep_run``).
+
+        Writes each chunk's input points under ``replay/`` and a
+        sealed :class:`~repro.integrity.manifest.RunManifest` whose
+        entries carry the byte-exact pickle digest of every chunk's
+        committed values — what ``repro audit`` later replays against.
+        Quarantined chunks are recorded as such (their stand-in None
+        values are not a reproducible artifact).
+        """
+        replay_dir = os.path.join(run.path, REPLAY_DIR)
+        os.makedirs(replay_dir, exist_ok=True)
+        entries = {}
+        for chunk in sorted(results):
+            points = chunk_points[chunk]
+            _atomic_write(
+                os.path.join(replay_dir, f"chunk-{chunk:06d}.pkl"),
+                list(points))
+            payload = results[chunk]
+            entry = {"n_points": len(points)}
+            if payload.get("quarantined"):
+                entry["quarantined"] = True
+            else:
+                entry["values_sha256"] = pickle_digest(
+                    payload["values"])
+            entries[f"chunk-{chunk:06d}"] = entry
+        try:
+            with open(run._task_path, "rb") as fh:
+                task_digest = blob_digest(fh.read())
+        except OSError:  # pragma: no cover - defensive
+            task_digest = None
+        manifest = RunManifest("spool-run", identity={
+            "run": os.path.basename(run.path),
+            "task_sha256": task_digest,
+            "n_chunks": len(chunk_points),
+            "n_points": sum(len(p) for p in chunk_points.values()),
+            "max_attempts": int(self.max_attempts),
+        }, entries=entries)
+        self.stats["manifest"] = manifest.write(
+            os.path.join(run.path, MANIFEST_NAME))
 
     def _steal_one(self, run):
         """Evaluate one queued chunk inline while waiting on workers.

@@ -299,3 +299,86 @@ class TestCacheCommand:
         assert store.disk.directory == str(tmp_path / "env")
         monkeypatch.delenv("REPRO_KERNEL_CACHE")
         assert get_kernel_store().disk is None
+
+
+class TestAuditCommand:
+    def _kept_run(self, tmp_path):
+        from test_integrity import square_point
+        from repro.sweep.distributed import DistributedBroker
+        spool = str(tmp_path / "spool")
+        broker = DistributedBroker(square_point, spool=spool, jobs=1,
+                                   spawn=0, poll=0.02, timeout=60.0,
+                                   chunk_size=2, keep_run=True)
+        broker.run([{"x": i} for i in range(5)])
+        run = [n for n in os.listdir(spool) if n.startswith("run-")][0]
+        return spool, os.path.join(spool, run)
+
+    def test_audit_clean_spool_passes(self, tmp_path, capsys):
+        spool, _ = self._kept_run(tmp_path)
+        assert main(["audit", "--spool", spool]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out and "FAIL" not in out
+
+    def test_audit_detects_flipped_byte(self, tmp_path, capsys):
+        spool, run_path = self._kept_run(tmp_path)
+        victim = os.path.join(run_path, "results", "chunk-000000.pkl")
+        blob = bytearray(open(victim, "rb").read())
+        blob[-3] ^= 0x04
+        open(victim, "wb").write(bytes(blob))
+        assert main(["audit", "--run", run_path]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_audit_canary_alone(self, capsys):
+        assert main(["audit", "--canary"]) == 0
+        assert "cross-backend-canary" in capsys.readouterr().out
+
+    def test_audit_without_targets_is_usage_error(self, capsys,
+                                                  monkeypatch):
+        monkeypatch.delenv("REPRO_SWEEP_SPOOL", raising=False)
+        assert main(["audit"]) == 2
+        assert "nothing to audit" in capsys.readouterr().out
+
+    def test_audit_json_output(self, tmp_path, capsys):
+        import json
+        spool, _ = self._kept_run(tmp_path)
+        assert main(["audit", "--spool", spool, "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["passed"] is True
+        assert record["counts"]["fail"] == 0
+
+
+class TestSpoolCommand:
+    def test_requires_spool(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_SWEEP_SPOOL", raising=False)
+        assert main(["spool", "fsck"]) == 2
+        assert "no spool given" in capsys.readouterr().out
+
+    def test_fsck_detect_then_repair(self, tmp_path, capsys):
+        spool, run_path = TestAuditCommand()._kept_run(tmp_path)
+        victim = os.path.join(run_path, "results", "chunk-000001.pkl")
+        blob = open(victim, "rb").read()
+        open(victim, "wb").write(blob[: len(blob) // 2])
+
+        assert main(["spool", "fsck", "--spool", spool]) == 1
+        out = capsys.readouterr().out
+        assert "torn-result" in out and "found" in out
+
+        assert main(["spool", "fsck", "--spool", spool,
+                     "--repair"]) == 0
+        assert "repaired" in capsys.readouterr().out
+
+        assert main(["spool", "fsck", "--spool", spool]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_ls_quarantine(self, tmp_path, capsys):
+        import json
+        qdir = tmp_path / "quarantine"
+        qdir.mkdir()
+        (qdir / "chunk-000002.json").write_text(json.dumps(
+            {"chunk": 2, "error": "ValueError('poison')",
+             "error_type": "ValueError", "attempts": 3,
+             "workers": ["w1"]}))
+        assert main(["spool", "ls-quarantine", "--spool",
+                     str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "chunk 2" in out and "ValueError" in out

@@ -134,7 +134,7 @@ class TestChaosMatrix:
         assert broker.stats["quarantined"] == [plan.target_chunk]
         record = os.path.join(
             spool, "quarantine",
-            f"chunk-{plan.target_chunk:06d}.pkl")
+            f"chunk-{plan.target_chunk:06d}.json")
         assert os.path.exists(record)
 
     def test_corrupt_checkpoint(self, seed, tmp_path, eval_device):
@@ -211,3 +211,43 @@ class TestChaosMatrix:
             _stop_workers(spool, worker)
         assert values == [chaos_point(**p) for p in points]
         assert broker.stats["requeued"] >= 1
+
+    def _corrupted_commit_recovers(self, plan, spool):
+        """Shared body of the two result-corruption cells: the worker
+        mangles its own committed result file, the broker's frame
+        verification rejects it as a counted integrity miss (never a
+        wrong value), and a clean retry completes the sweep."""
+        faults = plan.worker_faults()
+        broker, points = _broker(spool, plan, steal=False,
+                                 heartbeat_timeout=5.0,
+                                 max_attempts=3)
+        worker = _worker_thread(spool, faults, "mangler")
+        try:
+            values = broker.run(points)
+        finally:
+            _stop_workers(spool, worker)
+        assert faults.corruptions == 1
+        assert values == [chaos_point(**p) for p in points]
+        assert broker.stats["integrity_rejects"] >= 1
+        assert broker.stats["error_retries"] >= 1
+
+    def test_torn_write(self, seed, tmp_path):
+        """torn-write: flipped bytes inside a committed result file
+        are caught by the frame digest and retried cleanly."""
+        self._corrupted_commit_recovers(
+            FaultPlan(seed, "torn-write"), str(tmp_path))
+
+    def test_truncated_result(self, seed, tmp_path):
+        """truncated-result: a result file cut mid-write is caught by
+        the frame length check and retried cleanly."""
+        self._corrupted_commit_recovers(
+            FaultPlan(seed, "truncated-result"), str(tmp_path))
+
+
+def test_matrix_covers_every_fault_kind():
+    """Adding a FAULT_KINDS member without a matrix cell is a test
+    failure, not a silent coverage gap."""
+    covered = {name[len("test_"):].replace("_", "-")
+               for name in dir(TestChaosMatrix)
+               if name.startswith("test_")}
+    assert covered == set(FAULT_KINDS)

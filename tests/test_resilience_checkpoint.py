@@ -15,7 +15,8 @@ import os
 import numpy as np
 import pytest
 
-from repro.errors import ParameterError, ResilienceWarning, RunAborted
+from repro.errors import (ParameterError, ResilienceWarning,
+                          RunAborted, RunIdentityError)
 from repro.memsys import build_engine
 from repro.resilience import (
     CheckpointManager,
@@ -166,6 +167,100 @@ class TestFallbacks:
         with pytest.warns(ResilienceWarning, match="corrupt"):
             assert manager.load("run") is None
         assert manager.corrupt_fallbacks == 1
+
+
+class TestRunIdentity:
+    """--resume against a checkpoint from a *different* run must be a
+    clear refusal naming the differing fields, not a silent clean
+    restart the operator mistakes for a resume."""
+
+    def _checkpointed(self, eval_device, tmp_path, seed=7):
+        manager = CheckpointManager(str(tmp_path))
+        _engine(eval_device).run(
+            N_TRANSACTIONS, rng=np.random.default_rng(seed),
+            batch_size=BATCH, checkpoint=manager)
+        return manager
+
+    def test_resume_with_different_seed_refuses(self, eval_device,
+                                                tmp_path):
+        manager = self._checkpointed(eval_device, tmp_path, seed=7)
+        with pytest.raises(RunIdentityError) as err:
+            _engine(eval_device).run(
+                N_TRANSACTIONS, rng=np.random.default_rng(8),
+                batch_size=BATCH, checkpoint=manager, resume=True)
+        assert "seed_state" in str(err.value)
+        assert "refusing to resume" in str(err.value)
+
+    def test_resume_with_different_config_names_the_fields(
+            self, eval_device, tmp_path):
+        manager = self._checkpointed(eval_device, tmp_path)
+        with pytest.raises(RunIdentityError) as err:
+            _engine(eval_device, sampler="binomial").run(
+                N_TRANSACTIONS, rng=np.random.default_rng(7),
+                batch_size=BATCH, checkpoint=manager, resume=True)
+        message = str(err.value)
+        assert "different run" in message
+        assert "sampler" in message
+
+    def test_explicit_resume_raises_even_on_legacy_checkpoint(
+            self, tmp_path):
+        """A pre-manifest checkpoint carries no identity to diff, but
+        an explicit identity-bearing resume against the wrong key is
+        still a refusal, not a silent fresh start."""
+        manager = CheckpointManager(str(tmp_path))
+        manager.save("run", {"key": checkpoint_key(("config-a", 1)),
+                             "done": 10})
+        with pytest.raises(RunIdentityError,
+                           match="predates identity records"):
+            manager.load("run",
+                         expect_key=checkpoint_key(("config-b", 1)),
+                         identity={"rows": 16})
+
+    def test_identity_less_callers_keep_the_warn_path(self, tmp_path):
+        """Without an identity (pre-PR callers), a key mismatch stays
+        a counted warning — no behavior change for old code."""
+        manager = CheckpointManager(str(tmp_path))
+        manager.save("run", {"key": checkpoint_key(("config-a", 1)),
+                             "done": 10})
+        with pytest.warns(ResilienceWarning, match="different run"):
+            payload = manager.load(
+                "run", expect_key=checkpoint_key(("config-b", 1)))
+        assert payload is None
+        assert manager.stale_fallbacks == 1
+
+    def test_sidecar_disagreement_is_a_corrupt_fallback(
+            self, eval_device, tmp_path):
+        """A well-framed blob swapped in behind the manifest sidecar's
+        back is treated as corrupt (counted, clean restart), never
+        resumed."""
+        base = _engine(eval_device).run(
+            N_TRANSACTIONS, rng=np.random.default_rng(7),
+            batch_size=BATCH)
+        manager = self._checkpointed(eval_device, tmp_path)
+        other_dir = str(tmp_path / "other")
+        self._checkpointed(eval_device, other_dir, seed=9)
+        with open(os.path.join(other_dir, "run.ckpt"), "rb") as fh:
+            blob = fh.read()
+        with open(os.path.join(str(tmp_path), "run.ckpt"),
+                  "wb") as fh:
+            fh.write(blob)
+        with pytest.warns(ResilienceWarning, match="sidecar"):
+            resumed = _engine(eval_device).run(
+                N_TRANSACTIONS, rng=np.random.default_rng(7),
+                batch_size=BATCH, checkpoint=manager, resume=True)
+        assert manager.corrupt_fallbacks == 1
+        assert dataclasses.asdict(resumed) == dataclasses.asdict(base)
+
+    def test_sidecar_written_next_to_checkpoint(self, eval_device,
+                                                tmp_path):
+        self._checkpointed(eval_device, tmp_path)
+        sidecar = os.path.join(str(tmp_path), "run.manifest.json")
+        assert os.path.exists(sidecar)
+        from repro.integrity import load_sealed
+        record = load_sealed(sidecar)
+        assert record["kind"] == "checkpoint"
+        assert record["complete"] is True
+        assert record["snapshots"]
 
 
 class TestCheckpointPlumbing:

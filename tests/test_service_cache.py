@@ -115,8 +115,85 @@ class TestDiskTier:
         cache.put(KEY_A, {"v": 1})
         assert [p.name for p in tmp_path.iterdir()] == [
             f"{KEY_A}.json"]
-        payload = json.loads((tmp_path / f"{KEY_A}.json").read_text())
-        assert payload == {"v": 1}
+        envelope = json.loads((tmp_path / f"{KEY_A}.json").read_text())
+        assert envelope["v"] == 1
+        assert envelope["fingerprint"] == KEY_A
+        assert envelope["payload"] == {"v": 1}
+        assert isinstance(envelope["stored_at"], float)
+        assert isinstance(envelope["sha256"], str)
+
+
+class _FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def time(self):
+        return self.now
+
+
+class TestTtlAndStale:
+    def test_fresh_entry_within_ttl_hits(self):
+        clock = _FakeClock()
+        cache = ResultsCache(capacity=4, directory=False, clock=clock)
+        cache.put(KEY_A, {"v": 1})
+        clock.now += 5.0
+        assert cache.get(KEY_A, max_age=10.0) == {"v": 1}
+
+    def test_expired_entry_is_counted_miss_but_retained(self):
+        clock = _FakeClock()
+        cache = ResultsCache(capacity=4, directory=False, clock=clock)
+        cache.put(KEY_A, {"v": 1})
+        clock.now += 100.0
+        assert cache.get(KEY_A, max_age=10.0) is None
+        stats = cache.stats()
+        assert stats["expired"] == 1 and stats["misses"] == 1
+        # The entry survives for degraded serving.
+        assert cache.get_stale(KEY_A, 500.0) == ({"v": 1}, 100.0)
+        # And without a TTL it still reads normally.
+        assert cache.get(KEY_A) == {"v": 1}
+
+    def test_stale_respects_its_own_ttl(self):
+        clock = _FakeClock()
+        cache = ResultsCache(capacity=4, directory=False, clock=clock)
+        cache.put(KEY_A, {"v": 1})
+        clock.now += 1000.0
+        assert cache.get_stale(KEY_A, 500.0) is None
+        assert cache.stats()["stale_hits"] == 0
+
+    def test_stale_requires_positive_ttl(self):
+        cache = ResultsCache(capacity=4, directory=False)
+        with pytest.raises(ParameterError):
+            cache.get_stale(KEY_A, 0)
+
+    def test_stale_reverifies_digest(self):
+        """A memory entry whose payload no longer matches its digest
+        is dropped, not served — a degraded answer must still be a
+        correct stale answer."""
+        clock = _FakeClock()
+        cache = ResultsCache(capacity=4, directory=False, clock=clock)
+        cache.put(KEY_A, {"v": 1})
+        payload, stored_at, digest = cache._memory[KEY_A]
+        payload["v"] = 2  # in-place tamper behind the digest's back
+        assert cache.get_stale(KEY_A, 500.0) is None
+        assert cache.stats()["stale_rejects"] == 1
+        assert KEY_A not in cache._memory
+
+    def test_promotion_does_not_rejuvenate(self, tmp_path):
+        """A disk entry promoted into memory keeps its original store
+        time — a restart must not reset every TTL."""
+        clock = _FakeClock()
+        cache = ResultsCache(capacity=4, directory=str(tmp_path),
+                             clock=clock)
+        cache.put(KEY_A, {"v": 1})
+        clock.now += 100.0
+        fresh = ResultsCache(capacity=4, directory=str(tmp_path),
+                             clock=clock)
+        assert fresh.get(KEY_A, max_age=10.0) is None
+        assert fresh.get_stale(KEY_A, 500.0) == ({"v": 1}, 100.0)
+
+    def test_rejects_bad_clock(self):
+        with pytest.raises(ParameterError):
+            ResultsCache(clock=42)
 
 
 class TestEnvironmentDerivation:

@@ -359,6 +359,73 @@ class TestHardening:
         _serve(body, path=path, breaker_threshold=2,
                breaker_reset=60.0)
 
+    def test_breaker_open_serves_verified_stale_within_ttl(
+            self, tmp_path, monkeypatch):
+        """Degraded mode: breaker open + memo expired => the answer
+        is the digest-verified stale entry tagged ``stale: true``
+        with its age; past the stale TTL the op fast-fails."""
+        from repro.service.results_cache import ResultsCache
+
+        path = str(tmp_path / "svc.sock")
+
+        class FakeClock:
+            now = 1000.0
+
+            def time(self):
+                return self.now
+
+        clock = FakeClock()
+        monkeypatch.delenv("REPRO_KERNEL_CACHE", raising=False)
+        cache = ResultsCache(capacity=16, clock=clock)
+
+        def boom(query, abort, publish):
+            raise RuntimeError("kaboom")
+
+        def body(server):
+            with ServiceClient(path=path) as client:
+                good = client.query("uber", **SMALL)
+                assert good["ok"] and not good.get("stale")
+
+                # Age the memo past the TTL, then trip the breaker
+                # with two distinct failing queries.
+                clock.now += 100.0
+                monkeypatch.setitem(RUNNERS, "uber", boom)
+                for pitch in (71.0, 72.0):
+                    with pytest.raises(ServiceError,
+                                       match="internal error"):
+                        client.query("uber", rows=16, cols=16,
+                                     pitch_nm=pitch)
+
+                again = client.query("uber", **SMALL)
+                assert again["ok"] and again["cached"]
+                assert again["stale"] is True
+                assert again["degraded"] is True
+                assert 99.0 <= again["age_s"] <= 101.0
+                assert again["result"] == good["result"]
+
+                # The never-computed queries have nothing stale to
+                # serve: still a fast-fail.
+                with pytest.raises(ServiceError,
+                                   match="circuit-broken"):
+                    client.query("uber", rows=16, cols=16,
+                                 pitch_nm=73.0)
+
+                # Past the stale TTL the entry is too old to vouch
+                # for: fast-fail again.
+                clock.now += 1000.0
+                with pytest.raises(ServiceError,
+                                   match="circuit-broken"):
+                    client.query("uber", **SMALL)
+
+                stats = client.query("stats")["result"]
+            assert stats["stale_served"] == 1
+            assert stats["memo_ttl"] == 30.0
+            assert stats["stale_ttl"] == 500.0
+            assert stats["cache"]["stale_hits"] == 1
+
+        _serve(body, path=path, cache=cache, breaker_threshold=2,
+               breaker_reset=60.0, memo_ttl=30.0, stale_ttl=500.0)
+
     def test_stats_exposes_the_hardening_surface(self, tmp_path):
         path = str(tmp_path / "svc.sock")
 

@@ -8,6 +8,7 @@ a stale heartbeat losing its claim, and duplicate result commits.
 
 from __future__ import annotations
 
+import json
 import os
 import pickle
 import threading
@@ -421,14 +422,17 @@ class TestRetryBudgetAndQuarantine:
         assert values == [0, None, 20]
         assert broker.stats["quarantined"] == [1]
 
+        # The poison ledger is JSON, not pickle: inspecting a record a
+        # hostile task wrote must never execute attacker-shaped bytes.
         record_path = os.path.join(spool, QUARANTINE_DIR,
-                                   "chunk-000001.pkl")
-        with open(record_path, "rb") as handle:
-            record = pickle.load(handle)
+                                   "chunk-000001.json")
+        with open(record_path, "r", encoding="utf-8") as handle:
+            record = json.load(handle)
         assert record["chunk"] == 1
         assert record["points"] == [{"a": 1, "poison_at": 1}]
         assert record["attempts"] == 2
-        assert "poison" in str(record["error"])
+        assert "poison" in record["error"]
+        assert isinstance(record["error_type"], str)
         assert record["workers"] == ["broker"]
 
     def test_env_knobs_configure_the_budget(self, tmp_path,
